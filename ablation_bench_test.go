@@ -1,0 +1,162 @@
+package stateless_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/counter"
+	"stateless/internal/graph"
+	"stateless/internal/hypercube"
+	"stateless/internal/protocols"
+	"stateless/internal/sim"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// reports a quality metric alongside timing, so `-bench=Ablation` shows
+// what breaks (or what is paid) when a mechanism is removed.
+
+// BenchmarkAblationDCounterGapCorrection removes the D-counter's gap field
+// (zeroing g after every round) and reports the fraction of
+// post-stabilization rounds on which all nodes agreed. With the gap the
+// fraction is 1.0; without it, the two interleaved z-chains are never
+// reconciled and agreement only happens by accident.
+func BenchmarkAblationDCounterGapCorrection(b *testing.B) {
+	const (
+		n = 9
+		d = 32
+	)
+	run := func(b *testing.B, disableGap bool) {
+		dc, err := counter.NewDCounter(n, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(1, 2))
+		agreements, rounds := 0, 0
+		for i := 0; i < b.N; i++ {
+			state := make([]counter.Fields, n)
+			for j := range state {
+				state[j] = counter.Fields{
+					B1: core.Bit(rng.IntN(2)), B2: core.Bit(rng.IntN(2)),
+					Z: rng.Uint64N(d), G: rng.Uint64N(d), C: rng.Uint64N(d),
+				}
+			}
+			next := make([]counter.Fields, n)
+			step := func() {
+				for j := 0; j < n; j++ {
+					next[j] = dc.Update(j, state[(j-1+n)%n], state[(j+1)%n])
+					if disableGap {
+						next[j].G = 0
+					}
+				}
+				state, next = next, state
+			}
+			for k := 0; k < dc.StabilizationBound(); k++ {
+				step()
+			}
+			for k := 0; k < 4*n; k++ {
+				step()
+				agree := true
+				var first uint64
+				for j := 0; j < n; j++ {
+					v := dc.Read(j, state[(j-1+n)%n], state[(j+1)%n])
+					if j == 0 {
+						first = v
+					} else if v != first {
+						agree = false
+					}
+				}
+				rounds++
+				if agree {
+					agreements++
+				}
+			}
+		}
+		b.ReportMetric(float64(agreements)/float64(rounds), "agree/round")
+	}
+	b.Run("with-gap", func(b *testing.B) { run(b, false) })
+	b.Run("no-gap", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationSnakeSearchBudget sweeps the DFS expansion budget and
+// reports the snake length found in Q_6 — the knob trading search time
+// against the communication-bound constant of Theorem 4.1.
+func BenchmarkAblationSnakeSearchBudget(b *testing.B) {
+	for _, budget := range []int{50_000, 500_000, 2_000_000} {
+		b.Run("budget="+itoa(budget), func(b *testing.B) {
+			best := 0
+			for i := 0; i < b.N; i++ {
+				s, err := hypercube.Search(6, budget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Len() > best {
+					best = s.Len()
+				}
+			}
+			b.ReportMetric(float64(best), "snake-len")
+		})
+	}
+}
+
+// BenchmarkAblationGenericVsSpecialized compares Proposition 2.3's generic
+// protocol (n+1-bit labels, ≈2n rounds, works for any f on any strongly
+// connected graph) against a hand-rolled 1-bit OR broadcast on the same
+// clique — the price of generality in label bits and rounds.
+func BenchmarkAblationGenericVsSpecialized(b *testing.B) {
+	const n = 8
+	g := graph.Clique(n)
+	orFn := func(x core.Input) core.Bit {
+		var v core.Bit
+		for _, bit := range x {
+			v |= bit
+		}
+		return v
+	}
+	x := core.InputFromUint(1<<3, n)
+
+	b.Run("generic-tree", func(b *testing.B) {
+		p, err := protocols.TreeProtocol(g, orFn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l0 := core.UniformLabeling(g, 0)
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := sim.RunSynchronous(p, x, l0, 10*n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.StabilizedAt
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+		b.ReportMetric(float64(p.LabelBits()), "label-bits")
+	})
+	b.Run("specialized-or", func(b *testing.B) {
+		p, err := core.NewUniformProtocol(g, core.BinarySpace(),
+			func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+				any := core.Label(input)
+				for _, l := range in {
+					any |= l
+				}
+				for i := range out {
+					out[i] = any
+				}
+				return core.Bit(any)
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l0 := core.UniformLabeling(g, 0)
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := sim.RunSynchronous(p, x, l0, 10*n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.StabilizedAt
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+		b.ReportMetric(float64(p.LabelBits()), "label-bits")
+	})
+}

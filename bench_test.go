@@ -1,0 +1,200 @@
+package stateless_test
+
+import (
+	"testing"
+
+	"stateless"
+	"stateless/internal/core"
+	"stateless/internal/counter"
+	"stateless/internal/experiments"
+	"stateless/internal/graph"
+	"stateless/internal/protocols"
+	"stateless/internal/sim"
+)
+
+// One benchmark per experiment in the evaluation (DESIGN.md §5): each
+// regenerates the experiment's full row set, so `go test -bench=.` re-runs
+// the entire reproduction and EXPERIMENTS.md can be refreshed from
+// cmd/experiments output.
+
+func benchExperiment(b *testing.B, run func() (experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1_CliqueStabilization(b *testing.B) {
+	benchExperiment(b, experiments.E1CliqueStabilization)
+}
+
+func BenchmarkE2_TreeProtocol(b *testing.B) {
+	benchExperiment(b, experiments.E2TreeProtocol)
+}
+
+func BenchmarkE3_UnidirectionalRounds(b *testing.B) {
+	benchExperiment(b, experiments.E3UnidirectionalRounds)
+}
+
+func BenchmarkE4_Counters(b *testing.B) {
+	benchExperiment(b, experiments.E4Counters)
+}
+
+func BenchmarkE5_BPRing(b *testing.B) {
+	benchExperiment(b, experiments.E5BPRing)
+}
+
+func BenchmarkE6_CircuitRing(b *testing.B) {
+	benchExperiment(b, experiments.E6CircuitRing)
+}
+
+func BenchmarkE7_CountingBound(b *testing.B) {
+	benchExperiment(b, experiments.E7CountingBound)
+}
+
+func BenchmarkE8_FoolingSets(b *testing.B) {
+	benchExperiment(b, experiments.E8FoolingSets)
+}
+
+func BenchmarkE9_CommHardness(b *testing.B) {
+	benchExperiment(b, experiments.E9CommHardness)
+}
+
+func BenchmarkE10_MetanodeReduction(b *testing.B) {
+	benchExperiment(b, experiments.E10MetanodeReduction)
+}
+
+func BenchmarkE11_BestResponse(b *testing.B) {
+	benchExperiment(b, experiments.E11BestResponse)
+}
+
+func BenchmarkE12_AsyncRuntime(b *testing.B) {
+	benchExperiment(b, experiments.E12AsyncRuntime)
+}
+
+// Micro-benchmarks for the engine itself.
+
+func BenchmarkStepSynchronousClique(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			p, err := protocols.Example1Clique(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := p.Graph()
+			x := make(core.Input, n)
+			cur := core.NewConfig(g, core.UniformLabeling(g, 0))
+			next := cur.Clone()
+			all := make([]graph.NodeID, n)
+			for i := range all {
+				all[i] = graph.NodeID(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Step(p, x, cur, &next, all)
+				cur, next = next, cur
+			}
+		})
+	}
+}
+
+func BenchmarkDCounterRound(b *testing.B) {
+	for _, n := range []int{9, 33, 101} {
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			dc, err := counter.NewDCounter(n, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			state := make([]counter.Fields, n)
+			next := make([]counter.Fields, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					next[j] = dc.Update(j, state[(j-1+n)%n], state[(j+1)%n])
+				}
+				state, next = next, state
+			}
+		})
+	}
+}
+
+func BenchmarkTreeProtocolConvergence(b *testing.B) {
+	xor := func(x core.Input) core.Bit {
+		var v core.Bit
+		for _, bb := range x {
+			v ^= bb
+		}
+		return v
+	}
+	for _, n := range []int{6, 10, 14} {
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			g := graph.BidirectionalRing(n)
+			p, err := protocols.TreeProtocol(g, xor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := core.InputFromUint(0xA5A5, n)
+			l0 := core.UniformLabeling(g, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunSynchronous(p, x, l0, 10*n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFacadeORClique(b *testing.B) {
+	g := stateless.Clique(8)
+	p, err := stateless.NewUniformProtocol(g, stateless.BinarySpace(),
+		func(in []stateless.Label, input stateless.Bit, out []stateless.Label) stateless.Bit {
+			any := stateless.Label(input)
+			for _, l := range in {
+				any |= l
+			}
+			for i := range out {
+				out[i] = any
+			}
+			return stateless.Bit(any)
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := stateless.InputFromUint(3, 8)
+	l0 := stateless.UniformLabeling(g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stateless.RunSynchronous(p, x, l0, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkE13_AlmostStateless(b *testing.B) {
+	benchExperiment(b, experiments.E13AlmostStateless)
+}
+
+func BenchmarkE14_RandomizedSymmetryBreaking(b *testing.B) {
+	benchExperiment(b, experiments.E14RandomizedSymmetryBreaking)
+}

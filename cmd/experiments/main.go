@@ -1,0 +1,40 @@
+// Command experiments regenerates every experiment in the reproduction's
+// evaluation (see DESIGN.md §5 for the per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured commentary).
+//
+// Usage:
+//
+//	experiments            # run all
+//	experiments -only E4   # run one
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stateless/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	only := flag.String("only", "", "run a single experiment (e.g. E4)")
+	flag.Parse()
+	for _, e := range experiments.All() {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		table, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(table.Render())
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Command simulate runs one of the library's built-in stateless protocols
+// under a chosen schedule and reports stabilization behaviour.
+//
+// Usage:
+//
+//	simulate -protocol example1 -n 5 -schedule adversarial
+//	simulate -protocol tree-xor -n 6 -input 101101 -schedule sync
+//	simulate -protocol dcounter -n 7 -d 12
+//	simulate -protocol bgp-disagree -schedule roundrobin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"stateless/internal/bestresponse"
+	"stateless/internal/core"
+	"stateless/internal/counter"
+	"stateless/internal/graph"
+	"stateless/internal/protocols"
+	"stateless/internal/schedule"
+	"stateless/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name     = flag.String("protocol", "example1", "protocol: example1 | tree-xor | tree-maj | slow-ring | dcounter | bgp-good | bgp-disagree | bgp-bad")
+		n        = flag.Int("n", 5, "number of nodes (where applicable)")
+		d        = flag.Uint64("d", 8, "counter modulus for -protocol dcounter")
+		q        = flag.Uint64("q", 3, "label alphabet size for -protocol slow-ring")
+		inputStr = flag.String("input", "", "input bits, e.g. 10110 (defaults to zeros)")
+		schedStr = flag.String("schedule", "sync", "schedule: sync | roundrobin | rfair | adversarial")
+		r        = flag.Int("r", 0, "fairness window for -schedule rfair (default n-1)")
+		seed     = flag.Uint64("seed", 1, "seed for random schedule/labeling")
+		maxSteps = flag.Int("steps", 100000, "maximum steps")
+		randInit = flag.Bool("random-init", false, "start from a random labeling (transient fault)")
+	)
+	flag.Parse()
+
+	p, defaultSchedule, err := buildProtocol(*name, *n, *d, *q)
+	if err != nil {
+		return err
+	}
+	g := p.Graph()
+	nn := g.N()
+
+	x := make(core.Input, nn)
+	for i, c := range *inputStr {
+		if i >= nn {
+			break
+		}
+		if c == '1' {
+			x[i] = 1
+		}
+	}
+
+	l0 := core.UniformLabeling(g, 0)
+	if *randInit {
+		rng := rand.New(rand.NewPCG(*seed, *seed))
+		l0 = core.RandomLabeling(g, p.Space(), rng)
+	}
+	if *name == "example1" && *schedStr == "adversarial" {
+		l0 = protocols.Example1OscillationStart(g)
+	}
+
+	sched, period, err := buildSchedule(*schedStr, *name, nn, *r, *seed, defaultSchedule)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("protocol=%s nodes=%d edges=%d |Σ|=%d (%d bits) schedule=%s\n",
+		*name, nn, g.M(), p.Space().Size(), p.LabelBits(), *schedStr)
+
+	opts := sim.Options{MaxSteps: *maxSteps}
+	if period > 0 {
+		opts.DetectCycles = true
+		opts.CyclePeriod = period
+	}
+	res, err := sim.Run(p, x, l0, sched, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status=%v steps=%d stabilized_at=%d cycle=%d\n",
+		res.Status, res.Steps, res.StabilizedAt, res.CycleLen)
+	fmt.Printf("outputs=")
+	for _, y := range res.Outputs {
+		fmt.Printf("%d", y)
+	}
+	fmt.Println()
+	return nil
+}
+
+func buildProtocol(name string, n int, d, q uint64) (*core.Protocol, [][]graph.NodeID, error) {
+	switch name {
+	case "example1":
+		p, err := protocols.Example1Clique(n)
+		return p, protocols.Example1OscillationSchedule(n), err
+	case "tree-xor":
+		p, err := protocols.TreeProtocol(graph.BidirectionalRing(n), func(x core.Input) core.Bit {
+			var v core.Bit
+			for _, b := range x {
+				v ^= b
+			}
+			return v
+		})
+		return p, nil, err
+	case "tree-maj":
+		p, err := protocols.TreeProtocol(graph.BidirectionalRing(n), func(x core.Input) core.Bit {
+			cnt := 0
+			for _, b := range x {
+				cnt += int(b)
+			}
+			return core.BitOf(2*cnt >= len(x))
+		})
+		return p, nil, err
+	case "slow-ring":
+		p, err := protocols.SlowUnidirectional(n, q)
+		return p, nil, err
+	case "dcounter":
+		dc, err := counter.NewDCounter(n, d)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := dc.Protocol()
+		return p, nil, err
+	case "bgp-good":
+		p, err := bestresponse.GoodGadget().Protocol()
+		return p, nil, err
+	case "bgp-disagree":
+		p, err := bestresponse.Disagree().Protocol()
+		return p, nil, err
+	case "bgp-bad":
+		p, err := bestresponse.BadGadget().Protocol()
+		return p, nil, err
+	default:
+		return nil, nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func buildSchedule(kind, name string, n, r int, seed uint64, adversarial [][]graph.NodeID) (schedule.Schedule, int, error) {
+	switch kind {
+	case "sync":
+		return schedule.Synchronous{N: n}, 1, nil
+	case "roundrobin":
+		return schedule.RoundRobin{N: n}, n, nil
+	case "rfair":
+		if r <= 0 {
+			r = n - 1
+		}
+		s, err := schedule.NewRandomRFair(n, r, 0.4, seed)
+		return s, 0, err
+	case "adversarial":
+		if adversarial == nil {
+			return nil, 0, fmt.Errorf("protocol %q has no built-in adversarial schedule", name)
+		}
+		s, err := schedule.NewScripted(adversarial)
+		return s, len(adversarial), err
+	default:
+		return nil, 0, fmt.Errorf("unknown schedule %q", kind)
+	}
+}

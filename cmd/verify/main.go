@@ -1,0 +1,86 @@
+// Command verify decides label/output r-stabilization of small built-in
+// protocols by exhaustive state-space search — the problem Theorems 4.1
+// and 4.2 prove intractable in general, solved by brute force at toy sizes.
+//
+// Usage:
+//
+//	verify -protocol example1 -n 3 -r 2
+//	verify -protocol bgp-disagree -r 2 -output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stateless/internal/bestresponse"
+	"stateless/internal/core"
+	"stateless/internal/protocols"
+	"stateless/internal/verify"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("protocol", "example1", "protocol: example1 | bgp-good | bgp-disagree | bgp-bad")
+		n      = flag.Int("n", 3, "clique size for example1")
+		r      = flag.Int("r", 2, "fairness parameter")
+		output = flag.Bool("output", false, "check output stabilization instead of label stabilization")
+		limit  = flag.Int("limit", 1<<24, "state-space limit")
+	)
+	flag.Parse()
+
+	var (
+		p   *core.Protocol
+		err error
+	)
+	switch *name {
+	case "example1":
+		p, err = protocols.Example1Clique(*n)
+	case "bgp-good":
+		p, err = bestresponse.GoodGadget().Protocol()
+	case "bgp-disagree":
+		p, err = bestresponse.Disagree().Protocol()
+	case "bgp-bad":
+		p, err = bestresponse.BadGadget().Protocol()
+	default:
+		return fmt.Errorf("unknown protocol %q", *name)
+	}
+	if err != nil {
+		return err
+	}
+	x := make(core.Input, p.Graph().N())
+
+	stable, err := verify.StablePerNodeLabelings(p, x, *limit)
+	if err == nil {
+		fmt.Printf("stable labelings (per-node-uniform): %d\n", len(stable))
+		if len(stable) >= 2 {
+			fmt.Printf("⇒ Theorem 3.1: cannot be label %d-stabilizing\n", p.Graph().N()-1)
+		}
+	}
+
+	var dec verify.Decision
+	if *output {
+		dec, err = verify.OutputRStabilizing(p, x, *r, *limit)
+	} else {
+		dec, err = verify.LabelRStabilizing(p, x, *r, *limit)
+	}
+	if err != nil {
+		return err
+	}
+	kind := "label"
+	if *output {
+		kind = "output"
+	}
+	fmt.Printf("%s %d-stabilizing: %v (explored %d states)\n", kind, *r, dec.Stabilizing, dec.States)
+	if dec.Witness != nil {
+		fmt.Println("witness: a reachable oscillation exists between two configurations")
+	}
+	return nil
+}

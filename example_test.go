@@ -1,0 +1,85 @@
+package stateless_test
+
+import (
+	"fmt"
+
+	"stateless"
+)
+
+// ExampleRunSynchronous builds the OR-broadcast protocol on a clique and
+// runs it to a stable labeling.
+func ExampleRunSynchronous() {
+	g := stateless.Clique(4)
+	p, err := stateless.NewUniformProtocol(g, stateless.BinarySpace(),
+		func(in []stateless.Label, input stateless.Bit, out []stateless.Label) stateless.Bit {
+			any := stateless.Label(input)
+			for _, l := range in {
+				any |= l
+			}
+			for i := range out {
+				out[i] = any
+			}
+			return stateless.Bit(any)
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := stateless.RunSynchronous(p, stateless.Input{0, 1, 0, 0},
+		stateless.UniformLabeling(g, 0), 100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Status, res.Outputs)
+	// Output: label-stable [1 1 1 1]
+}
+
+// ExampleNewRandomRFair shows fairness auditing of an r-fair schedule.
+func ExampleNewRandomRFair() {
+	sched, err := stateless.NewRandomRFair(4, 3, 0.5, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	audit := stateless.NewFairnessAuditor(4, 3)
+	var buf []stateless.NodeID
+	for t := 1; t <= 100; t++ {
+		buf = sched.Activated(t, buf[:0])
+		if err := audit.Observe(buf); err != nil {
+			fmt.Println("violation:", err)
+			return
+		}
+	}
+	fmt.Println("3-fair over 100 steps")
+	// Output: 3-fair over 100 steps
+}
+
+// ExampleGraph_Radius relates Proposition 2.1's lower bound to a topology.
+func ExampleGraph_Radius() {
+	fmt.Println(stateless.Ring(6).Radius(), stateless.BidirectionalRing(6).Radius())
+	// Output: 5 3
+}
+
+// ExampleIsStable checks the two stable labelings that make Example 1's
+// protocol non-(n−1)-stabilizing (Theorem 3.1).
+func ExampleIsStable() {
+	g := stateless.Clique(3)
+	p, _ := stateless.NewUniformProtocol(g, stateless.BinarySpace(),
+		func(in []stateless.Label, _ stateless.Bit, out []stateless.Label) stateless.Bit {
+			var any stateless.Label
+			for _, l := range in {
+				any |= l
+			}
+			for i := range out {
+				out[i] = any
+			}
+			return stateless.Bit(any)
+		})
+	x := make(stateless.Input, 3)
+	fmt.Println(
+		stateless.IsStable(p, x, stateless.UniformLabeling(g, 0)),
+		stateless.IsStable(p, x, stateless.UniformLabeling(g, 1)),
+	)
+	// Output: true true
+}

@@ -1,0 +1,64 @@
+// Diffusion of technologies in a social network (Morris's contagion, one
+// of the paper's motivating best-response environments): a node adopts
+// when enough neighbors have adopted — a stateless reaction to the most
+// recent neighborhood state.
+//
+// The example shows a cascade on a torus, a stuck diffusion when the
+// adoption threshold is too high, and the Theorem 3.1 angle: without
+// seeds, all-adopt and none-adopt are both equilibria, so the dynamics
+// cannot be guaranteed to converge under (n−1)-fair schedules.
+//
+// Run: go run ./examples/contagion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stateless/internal/bestresponse"
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/sim"
+	"stateless/internal/verify"
+)
+
+func main() {
+	g := graph.Torus(3, 4)
+
+	run := func(name string, threshold int, seeds map[graph.NodeID]bool) {
+		c := &bestresponse.Contagion{Graph: g, Threshold: threshold, Seeds: seeds}
+		p, err := c.Protocol()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.RunSynchronous(p, make(core.Input, g.N()), core.UniformLabeling(g, 0), 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s threshold=%d seeds=%d → %v, adopters %d/%d after %d rounds\n",
+			name, threshold, len(seeds), res.Status, len(c.Adopters(res.Final.Labels)), g.N(), res.Steps)
+	}
+
+	run("viral cascade", 1, map[graph.NodeID]bool{0: true})
+	run("two-neighbor rule, 1 seed", 2, map[graph.NodeID]bool{0: true})
+	run("two-neighbor rule, row seed", 2, map[graph.NodeID]bool{0: true, 1: true, 2: true, 3: true})
+
+	// Unseeded: two equilibria on a clique → Theorem 3.1 instability,
+	// machine-checked by the exhaustive verifier on a small instance.
+	k4 := graph.Clique(4)
+	c := &bestresponse.Contagion{Graph: k4, Threshold: 2}
+	p, err := c.Protocol()
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := make(core.Input, 4)
+	fmt.Printf("\nunseeded K4, threshold 2: all-0 stable=%v, all-1 stable=%v\n",
+		core.IsStable(p, x, core.UniformLabeling(k4, 0)),
+		core.IsStable(p, x, core.UniformLabeling(k4, 1)))
+	dec, err := verify.LabelRStabilizing(p, x, 3, 1<<24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("label (n-1)=3-stabilizing? %v  (Theorem 3.1: two equilibria forbid it; %d states searched)\n",
+		dec.Stabilizing, dec.States)
+}

@@ -1,0 +1,190 @@
+package almoststateless
+
+import (
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/sim"
+	"stateless/internal/stateful"
+)
+
+func TestToggleClockOscillates(t *testing.T) {
+	p, err := ToggleClock(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MemoryBits() != 1 {
+		t.Errorf("memory bits %d, want 1", p.MemoryBits())
+	}
+	res, err := p.RunSynchronous(Config{Labels: []core.Label{0}, Mems: []core.Label{0}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stable || res.CycleLen != 2 {
+		t.Errorf("want a 2-cycle, got %+v", res)
+	}
+}
+
+// TestStatelessSingleNodeIsConstant establishes the separation: every
+// deterministic stateless protocol on a single isolated node stabilizes
+// after one activation (its reaction takes no inputs besides the fixed
+// input bit, so it is constant) — the ToggleClock behaviour is impossible.
+func TestStatelessSingleNodeIsConstant(t *testing.T) {
+	g := graph.MustNew(1, nil)
+	p, err := core.NewUniformProtocol(g, core.BinarySpace(),
+		func(_ []core.Label, input core.Bit, _ []core.Label) core.Bit {
+			return input // any stateless reaction here is a constant function
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunSynchronous(p, core.Input{1}, core.Labeling{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sim.LabelStable || res.StabilizedAt > 1 {
+		t.Errorf("isolated stateless node must be immediately stable: %+v", res)
+	}
+}
+
+func TestModCounterCounts(t *testing.T) {
+	p, err := ModCounter(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Labels: make([]core.Label, 3), Mems: make([]core.Label, 3)}
+	all := []int{0, 1, 2}
+	var seen []core.Label
+	for k := 0; k < 12; k++ {
+		cfg = p.Step(cfg, all)
+		seen = append(seen, cfg.Labels[0])
+	}
+	for k := 1; k < len(seen); k++ {
+		if seen[k] != (seen[k-1]+1)%5 {
+			t.Fatalf("broadcast count %v not incrementing mod 5", seen)
+		}
+	}
+	// Followers copy with one step of lag.
+	if cfg.Labels[1] != seen[len(seen)-2] {
+		t.Errorf("follower should lag the leader by one step")
+	}
+}
+
+func TestToStatefulBisimulation(t *testing.T) {
+	// The stateful folding must reproduce the almost-stateless run
+	// step-for-step under the projection.
+	p, err := ModCounter(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := p.ToStateful()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Labels: []core.Label{3, 1}, Mems: []core.Label{2, 0}}
+	scur := p.LiftConfig(cfg)
+	snext := make([]core.Label, p.N)
+	all := []int{0, 1}
+	for step := 0; step < 20; step++ {
+		cfg = p.Step(cfg, all)
+		sp.Step(scur, snext, all)
+		scur, snext = snext, scur
+		for i := 0; i < p.N; i++ {
+			wantLabel := cfg.Labels[i] % core.Label(p.LabelSize)
+			wantMem := cfg.Mems[i] % core.Label(p.MemSize)
+			gotLabel := scur[i] % core.Label(p.LabelSize)
+			gotMem := scur[i] / core.Label(p.LabelSize)
+			if gotLabel != wantLabel || gotMem != wantMem {
+				t.Fatalf("step %d node %d: stateful (%d,%d) vs almost-stateless (%d,%d)",
+					step, i, gotLabel, gotMem, wantLabel, wantMem)
+			}
+		}
+	}
+}
+
+func TestToStatelessPreservesOscillation(t *testing.T) {
+	// ToggleClock on K_2 → metanode stateless protocol on K_6: the clock's
+	// non-stabilization survives the whole compilation chain.
+	p, err := ToggleClock(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure, err := p.ToStateless()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.Graph().N() != 6 {
+		t.Fatalf("metanode graph has %d nodes, want 6", pure.Graph().N())
+	}
+	start := stateful.MetanodeStart(pure, p.LiftConfig(Config{
+		Labels: []core.Label{0, 0}, Mems: []core.Label{0, 1},
+	}))
+	res, err := sim.RunSynchronous(pure, make(core.Input, 6), start, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == sim.LabelStable {
+		t.Error("clock oscillation lost through the stateless compilation")
+	}
+}
+
+func TestToStatelessPreservesStabilization(t *testing.T) {
+	// A trivially convergent almost-stateless protocol (emit 0, keep mem 0)
+	// compiles to a stateless protocol that collapses to ω everywhere.
+	p := &Protocol{N: 2, LabelSize: 2, MemSize: 2, Reactions: []Reaction{
+		func(_ []core.Label, _ core.Label) (core.Label, core.Label) { return 0, 0 },
+		func(_ []core.Label, _ core.Label) (core.Label, core.Label) { return 0, 0 },
+	}}
+	pure, err := p.ToStateless()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := stateful.MetanodeStart(pure, p.LiftConfig(Config{
+		Labels: []core.Label{1, 0}, Mems: []core.Label{1, 1},
+	}))
+	res, err := sim.RunSynchronous(pure, make(core.Input, 6), start, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sim.LabelStable {
+		t.Errorf("status %v, want label-stable", res.Status)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Protocol{N: 1, LabelSize: 2, MemSize: 0, Reactions: make([]Reaction, 1)}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero memory space should fail")
+	}
+	if _, err := ToggleClock(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ModCounter(1, 1); err == nil {
+		t.Error("mod=1 should fail")
+	}
+	if _, err := (&Protocol{}).ToStateful(); err == nil {
+		t.Error("invalid protocol should fail to fold")
+	}
+	p, _ := ToggleClock(1)
+	if _, err := p.RunSynchronous(Config{}, 5); err == nil {
+		t.Error("bad config shape should fail")
+	}
+}
+
+func TestRunSynchronousStable(t *testing.T) {
+	p := &Protocol{N: 2, LabelSize: 3, MemSize: 2, Reactions: []Reaction{
+		func(_ []core.Label, _ core.Label) (core.Label, core.Label) { return 2, 1 },
+		func(labels []core.Label, _ core.Label) (core.Label, core.Label) { return labels[0], 0 },
+	}}
+	res, err := p.RunSynchronous(Config{Labels: make([]core.Label, 2), Mems: make([]core.Label, 2)}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Errorf("want stable, got %+v", res)
+	}
+	if res.Final.Labels[0] != 2 || res.Final.Labels[1] != 2 {
+		t.Error("wrong fixed point")
+	}
+}

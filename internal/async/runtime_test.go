@@ -1,0 +1,176 @@
+package async
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/bestresponse"
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/protocols"
+	"stateless/internal/schedule"
+	"stateless/internal/sim"
+)
+
+func xorFunc(x core.Input) core.Bit {
+	var v core.Bit
+	for _, b := range x {
+		v ^= b
+	}
+	return v
+}
+
+func TestRuntimeMatchesReferenceSimulator(t *testing.T) {
+	// Same protocol, same schedule script → identical label trajectories.
+	g := graph.Clique(5)
+	p, err := protocols.TreeProtocol(g, xorFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(44, 44))
+	for trial := 0; trial < 8; trial++ {
+		x := core.InputFromUint(rng.Uint64N(32), 5)
+		l0 := core.RandomLabeling(g, p.Space(), rng)
+		// Random activation script.
+		script := make([][]graph.NodeID, 7)
+		for i := range script {
+			var s []graph.NodeID
+			for v := 0; v < 5; v++ {
+				if rng.IntN(2) == 0 {
+					s = append(s, graph.NodeID(v))
+				}
+			}
+			if len(s) == 0 {
+				s = []graph.NodeID{graph.NodeID(rng.IntN(5))}
+			}
+			script[i] = s
+		}
+		if err := Verify(p, x, l0, script, 200); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRuntimeRunStabilizes(t *testing.T) {
+	g := graph.BidirectionalRing(5)
+	p, err := protocols.TreeProtocol(g, xorFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := core.Input{1, 1, 0, 1, 0}
+	rt, err := New(p, x, core.UniformLabeling(g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, err := rt.Run(schedule.Synchronous{N: 5}, sim.Options{MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sim.LabelStable {
+		t.Fatalf("status %v", res.Status)
+	}
+	for _, y := range res.Outputs {
+		if y != xorFunc(x) {
+			t.Error("wrong converged output")
+		}
+	}
+	// Cross-check against the reference run.
+	ref, err := sim.RunSynchronous(p, x, core.UniformLabeling(g, 0), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.StabilizedAt != res.StabilizedAt {
+		t.Errorf("stabilization time %d vs reference %d", res.StabilizedAt, ref.StabilizedAt)
+	}
+}
+
+func TestRuntimeDetectsOscillation(t *testing.T) {
+	spp := bestresponse.BadGadget()
+	p, err := spp.Protocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(p, make(core.Input, 4), core.UniformLabeling(p.Graph(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, err := rt.Run(schedule.Synchronous{N: 4}, sim.Options{MaxSteps: 10000, DetectCycles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sim.Oscillating {
+		t.Fatalf("status %v, want oscillating", res.Status)
+	}
+}
+
+func TestRuntimeLifecycle(t *testing.T) {
+	g := graph.Ring(3)
+	p, err := core.NewUniformProtocol(g, core.BinarySpace(),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			out[0] = in[0]
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(p, make(core.Input, 3), core.UniformLabeling(g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Step([]graph.NodeID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	rt.Close() // double close is safe
+	if _, err := rt.Step([]graph.NodeID{0}); err == nil {
+		t.Error("Step after Close should fail")
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	g := graph.Ring(3)
+	p, _ := core.NewUniformProtocol(g, core.BinarySpace(),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			out[0] = in[0]
+			return 0
+		})
+	if _, err := New(p, make(core.Input, 2), core.UniformLabeling(g, 0)); err == nil {
+		t.Error("input mismatch should fail")
+	}
+	if _, err := New(p, make(core.Input, 3), core.Labeling{0}); err == nil {
+		t.Error("labeling mismatch should fail")
+	}
+}
+
+func TestRuntimePartialActivationSemantics(t *testing.T) {
+	// Activating a subset must leave other nodes' labels untouched, and
+	// activated nodes must read pre-step labels (tested by a chain of
+	// incrementers where iterated reads would differ).
+	g := graph.Ring(4)
+	p, err := core.NewUniformProtocol(g, core.MustLabelSpace(64),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			out[0] = in[0] + 1
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(p, make(core.Input, 4), core.Labeling{0, 10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.Step([]graph.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := rt.Labels()
+	sum := core.Label(0)
+	for _, v := range got {
+		sum += v
+	}
+	if sum != 0+10+20+30+4 {
+		t.Errorf("labels %v: nodes must read pre-step values", got)
+	}
+}

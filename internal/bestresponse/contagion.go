@@ -1,0 +1,72 @@
+package bestresponse
+
+import (
+	"errors"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// Contagion models Morris-style diffusion of a technology in a social
+// network as best-response dynamics: a node adopts (plays 1) iff at least
+// Threshold of its in-neighbors currently play 1, except for Seeds, which
+// always play 1. Labels are the currently announced actions — a stateless
+// protocol with {0,1} labels.
+//
+// With no seeds, both all-0 and all-1 are stable states whenever every
+// node's in-degree is at least Threshold, so Theorem 3.1 applies: the
+// dynamics cannot be label (n−1)-stabilizing.
+type Contagion struct {
+	Graph     *graph.Graph
+	Threshold int
+	Seeds     map[graph.NodeID]bool
+}
+
+// Protocol compiles the diffusion dynamics into a stateless protocol. The
+// output bit mirrors the node's action.
+func (c *Contagion) Protocol() (*core.Protocol, error) {
+	if c.Graph == nil {
+		return nil, errors.New("bestresponse: nil graph")
+	}
+	if c.Threshold < 1 {
+		return nil, errors.New("bestresponse: threshold must be ≥ 1")
+	}
+	n := c.Graph.N()
+	reactions := make([]core.Reaction, n)
+	for v := 0; v < n; v++ {
+		seeded := c.Seeds[graph.NodeID(v)]
+		th := c.Threshold
+		reactions[v] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			action := core.Bit(0)
+			if seeded {
+				action = 1
+			} else {
+				cnt := 0
+				for _, l := range in {
+					cnt += int(l & 1)
+				}
+				if cnt >= th {
+					action = 1
+				}
+			}
+			for i := range out {
+				out[i] = core.Label(action)
+			}
+			return action
+		}
+	}
+	return core.NewProtocol(c.Graph, core.BinarySpace(), reactions)
+}
+
+// Adopters returns the set of adopters in a labeling (nodes whose outgoing
+// labels are 1).
+func (c *Contagion) Adopters(l core.Labeling) []graph.NodeID {
+	var out []graph.NodeID
+	for v := 0; v < c.Graph.N(); v++ {
+		ids := c.Graph.Out(graph.NodeID(v))
+		if len(ids) > 0 && l[ids[0]] == 1 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}

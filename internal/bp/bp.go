@@ -1,0 +1,202 @@
+// Package bp provides the branching-program substrate for the L/poly side
+// of Theorem 5.2: bounded-fan-out branching programs with evaluation and
+// builders (parity, equality, threshold/majority), a compiler from BPs to
+// output-stabilizing stateless protocols on unidirectional rings (the
+// L/poly ⊆ OSu_log direction, following Theorem C.1's advice-machine
+// simulation), and the reverse extraction of a branching program from any
+// unidirectional-ring protocol (OSu_log ⊆ L/poly).
+package bp
+
+import (
+	"errors"
+	"fmt"
+
+	"stateless/internal/core"
+)
+
+// Sink node sentinels for Node.Next.
+const (
+	Accept = -1
+	Reject = -2
+)
+
+// Node is a branching-program node: it queries input variable Var and
+// branches to Next[0] or Next[1]. Next entries are either later node
+// indices (the program must be topologically ordered) or the Accept/Reject
+// sentinels.
+type Node struct {
+	Var  int
+	Next [2]int
+}
+
+// BP is a single-output branching program over n Boolean inputs.
+type BP struct {
+	NumInputs int
+	Start     int
+	Nodes     []Node
+}
+
+// Validation errors.
+var (
+	ErrEmpty    = errors.New("bp: program must have at least one node")
+	ErrBadVar   = errors.New("bp: variable index out of range")
+	ErrBadNext  = errors.New("bp: successor must be a later node or a sink")
+	ErrBadStart = errors.New("bp: start node out of range")
+	ErrBadInput = errors.New("bp: input length mismatch")
+)
+
+// Validate checks structural well-formedness, including acyclicity via the
+// topological-order requirement.
+func (b *BP) Validate() error {
+	if len(b.Nodes) == 0 {
+		return ErrEmpty
+	}
+	if b.NumInputs < 1 {
+		return errors.New("bp: need at least one input")
+	}
+	if b.Start < 0 || b.Start >= len(b.Nodes) {
+		return fmt.Errorf("%w: %d", ErrBadStart, b.Start)
+	}
+	for i, nd := range b.Nodes {
+		if nd.Var < 0 || nd.Var >= b.NumInputs {
+			return fmt.Errorf("%w: node %d var %d", ErrBadVar, i, nd.Var)
+		}
+		for _, nxt := range nd.Next {
+			if nxt == Accept || nxt == Reject {
+				continue
+			}
+			if nxt <= i || nxt >= len(b.Nodes) {
+				return fmt.Errorf("%w: node %d → %d", ErrBadNext, i, nxt)
+			}
+		}
+	}
+	return nil
+}
+
+// Size returns the number of (non-sink) nodes.
+func (b *BP) Size() int { return len(b.Nodes) }
+
+// Depth returns an upper bound on the number of queries on any path; for a
+// topologically ordered program this is at most Size.
+func (b *BP) Depth() int { return len(b.Nodes) }
+
+// Eval runs the program on x.
+func (b *BP) Eval(x core.Input) (core.Bit, error) {
+	if len(x) != b.NumInputs {
+		return 0, fmt.Errorf("%w: got %d want %d", ErrBadInput, len(x), b.NumInputs)
+	}
+	cur := b.Start
+	for steps := 0; steps <= len(b.Nodes); steps++ {
+		if cur == Accept {
+			return 1, nil
+		}
+		if cur == Reject {
+			return 0, nil
+		}
+		nd := b.Nodes[cur]
+		cur = nd.Next[x[nd.Var]]
+	}
+	return 0, errors.New("bp: walk exceeded node count (program not topological)")
+}
+
+// MustEval is Eval for validated programs; panics on error.
+func (b *BP) MustEval(x core.Input) core.Bit {
+	v, err := b.Eval(x)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Parity returns a 2n-node program computing x_0 ⊕ ... ⊕ x_{n-1}.
+func Parity(n int) (*BP, error) {
+	if n < 1 {
+		return nil, errors.New("bp: need n ≥ 1")
+	}
+	// Node layout: index 2i+p means "about to read x_i with running parity
+	// p".
+	b := &BP{NumInputs: n, Start: 0}
+	for i := 0; i < n; i++ {
+		for p := 0; p < 2; p++ {
+			next := func(bit int) int {
+				np := p ^ bit
+				if i == n-1 {
+					if np == 1 {
+						return Accept
+					}
+					return Reject
+				}
+				return 2*(i+1) + np
+			}
+			b.Nodes = append(b.Nodes, Node{Var: i, Next: [2]int{next(0), next(1)}})
+		}
+	}
+	return b, nil
+}
+
+// Equality returns an O(n)-node program for the paper's EQ_n (even n):
+// sequentially compare x_i with x_{n/2+i}.
+func Equality(n int) (*BP, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, errors.New("bp: Equality needs even n ≥ 2")
+	}
+	half := n / 2
+	b := &BP{NumInputs: n, Start: 0}
+	// Per pair i: node a_i reads x_i; nodes e0_i / e1_i read x_{half+i}
+	// expecting 0 / 1. Layout: 3 nodes per pair.
+	idx := func(i, which int) int { return 3*i + which } // which: 0=a,1=e0,2=e1
+	for i := 0; i < half; i++ {
+		cont := Accept
+		if i < half-1 {
+			cont = idx(i+1, 0)
+		}
+		b.Nodes = append(b.Nodes,
+			Node{Var: i, Next: [2]int{idx(i, 1), idx(i, 2)}},
+			Node{Var: half + i, Next: [2]int{cont, Reject}},
+			Node{Var: half + i, Next: [2]int{Reject, cont}},
+		)
+	}
+	return b, nil
+}
+
+// Threshold returns an O(n·k)-node program for TH_k (at least k ones).
+func Threshold(n, k int) (*BP, error) {
+	if n < 1 {
+		return nil, errors.New("bp: need n ≥ 1")
+	}
+	if k <= 0 {
+		return &BP{NumInputs: n, Start: 0, Nodes: []Node{{Var: 0, Next: [2]int{Accept, Accept}}}}, nil
+	}
+	if k > n {
+		return &BP{NumInputs: n, Start: 0, Nodes: []Node{{Var: 0, Next: [2]int{Reject, Reject}}}}, nil
+	}
+	// Node (i, c): about to read x_i having seen c ones, 0 ≤ c < k.
+	b := &BP{NumInputs: n, Start: 0}
+	idx := func(i, c int) int { return i*k + c }
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			next := func(bit int) int {
+				nc := c + bit
+				if nc >= k {
+					return Accept
+				}
+				if i == n-1 {
+					return Reject
+				}
+				// Even if the remaining inputs can't reach k, keep walking;
+				// the final layer rejects.
+				return idx(i+1, nc)
+			}
+			b.Nodes = append(b.Nodes, Node{Var: i, Next: [2]int{next(0), next(1)}})
+		}
+	}
+	return b, nil
+}
+
+// Majority returns the program for the paper's Maj_n: Σx_i ≥ n/2.
+func Majority(n int) (*BP, error) {
+	if n < 1 {
+		return nil, errors.New("bp: need n ≥ 1")
+	}
+	return Threshold(n, (n+1)/2)
+}

@@ -1,0 +1,126 @@
+package bp
+
+import (
+	"testing"
+
+	"stateless/internal/core"
+)
+
+func exhaustive(t *testing.T, b *BP, want func(core.Input) core.Bit) {
+	t.Helper()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	n := b.NumInputs
+	for v := uint64(0); v < 1<<uint(n); v++ {
+		x := core.InputFromUint(v, n)
+		got, err := b.Eval(x)
+		if err != nil {
+			t.Fatalf("Eval(%s): %v", x, err)
+		}
+		if got != want(x) {
+			t.Errorf("input %s: got %d, want %d", x, got, want(x))
+		}
+	}
+}
+
+func parityFn(x core.Input) core.Bit {
+	var p core.Bit
+	for _, b := range x {
+		p ^= b
+	}
+	return p
+}
+
+func eqFn(x core.Input) core.Bit {
+	half := len(x) / 2
+	for i := 0; i < half; i++ {
+		if x[i] != x[half+i] {
+			return 0
+		}
+	}
+	return 1
+}
+
+func majFn(x core.Input) core.Bit {
+	cnt := 0
+	for _, b := range x {
+		cnt += int(b)
+	}
+	return core.BitOf(2*cnt >= len(x))
+}
+
+func TestParityBP(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		b, err := Parity(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive(t, b, parityFn)
+		if b.Size() != 2*n {
+			t.Errorf("n=%d: size %d, want 2n=%d", n, b.Size(), 2*n)
+		}
+	}
+}
+
+func TestEqualityBP(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8} {
+		b, err := Equality(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive(t, b, eqFn)
+		if b.Size() != 3*n/2 {
+			t.Errorf("n=%d: size %d, want 3n/2", n, b.Size())
+		}
+	}
+	if _, err := Equality(5); err == nil {
+		t.Error("odd n should fail")
+	}
+}
+
+func TestThresholdMajorityBP(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		for k := 0; k <= n+1; k++ {
+			b, err := Threshold(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := k
+			exhaustive(t, b, func(x core.Input) core.Bit {
+				cnt := 0
+				for _, bit := range x {
+					cnt += int(bit)
+				}
+				return core.BitOf(cnt >= k)
+			})
+		}
+		b, err := Majority(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive(t, b, majFn)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]*BP{
+		"empty":     {NumInputs: 2},
+		"bad var":   {NumInputs: 2, Nodes: []Node{{Var: 5, Next: [2]int{Accept, Reject}}}},
+		"self loop": {NumInputs: 2, Nodes: []Node{{Var: 0, Next: [2]int{0, Accept}}}},
+		"backward":  {NumInputs: 2, Nodes: []Node{{Var: 0, Next: [2]int{1, Accept}}, {Var: 1, Next: [2]int{0, Accept}}}},
+		"bad start": {NumInputs: 2, Start: 3, Nodes: []Node{{Var: 0, Next: [2]int{Accept, Reject}}}},
+	}
+	for name, b := range cases {
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", name)
+		}
+	}
+}
+
+func TestEvalInputMismatch(t *testing.T) {
+	b, _ := Parity(3)
+	if _, err := b.Eval(make(core.Input, 2)); err == nil {
+		t.Error("short input should fail")
+	}
+}

@@ -1,0 +1,285 @@
+package bp
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// RingProtocol is a stateless protocol on the unidirectional n-ring that
+// simulates a branching program — the L/poly ⊆ OSu_log direction of
+// Theorem 5.2, following Theorem C.1's construction: labels carry machine
+// configurations (z, b, c, o) where z is the current BP node (or a sink),
+// b the most recently fetched queried bit, c a step counter that
+// periodically resets the simulation, and o the published output.
+//
+// Node 0 applies one BP transition to every label that passes it (each of
+// the n circulating label streams therefore advances one transition per
+// lap); the ring node owning the queried variable fills in b during the
+// lap. When the counter reaches the program depth the simulation must sit
+// at a sink: node 0 publishes the verdict in o and restarts from the start
+// node. Whatever garbage a transient fault leaves in a label, the counter
+// reaches its cap within one period and the next simulation is clean, so
+// every stream converges to publishing f(x) forever: output-stabilizing
+// with label complexity O(log(n + size)).
+type RingProtocol struct {
+	bp       *BP
+	n        int
+	cap      int // counter cap = one full simulation's transitions
+	zStates  int // len(Nodes) + 2 sinks
+	protocol *core.Protocol
+}
+
+// Sink encodings inside labels.
+func (rp *RingProtocol) acceptZ() int { return len(rp.bp.Nodes) }
+func (rp *RingProtocol) rejectZ() int { return len(rp.bp.Nodes) + 1 }
+
+// CompileToRing compiles a validated program onto the unidirectional
+// n-ring, n = program's input count (one input bit per ring node).
+func CompileToRing(b *BP) (*RingProtocol, error) {
+	if b == nil {
+		return nil, errors.New("bp: nil program")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	n := b.NumInputs
+	if n < 2 {
+		return nil, errors.New("bp: ring compilation needs n ≥ 2")
+	}
+	rp := &RingProtocol{
+		bp:      b,
+		n:       n,
+		cap:     b.Depth() + 1,
+		zStates: len(b.Nodes) + 2,
+	}
+	p, err := rp.build()
+	if err != nil {
+		return nil, err
+	}
+	rp.protocol = p
+	return rp, nil
+}
+
+// Protocol returns the compiled protocol.
+func (rp *RingProtocol) Protocol() *core.Protocol { return rp.protocol }
+
+// LabelBits returns the label complexity: ⌈log z-states⌉ + 1 + ⌈log cap⌉ + 1.
+func (rp *RingProtocol) LabelBits() int { return rp.protocol.LabelBits() }
+
+// SettleBound bounds the synchronous rounds until every output is correct
+// from any initial labeling: at most one period to flush garbage counters,
+// one clean simulation, plus a lap of slack. One simulation period is
+// n·cap rounds (one transition per lap).
+func (rp *RingProtocol) SettleBound() int { return rp.n * (2*rp.cap + 3) }
+
+// label field packing.
+type fields struct {
+	z int
+	b core.Bit
+	c int
+	o core.Bit
+}
+
+func (rp *RingProtocol) zBits() int { return bits.Len(uint(rp.zStates - 1)) }
+func (rp *RingProtocol) cBits() int { return bits.Len(uint(rp.cap)) }
+
+func (rp *RingProtocol) pack(f fields) core.Label {
+	zb, cb := uint(rp.zBits()), uint(rp.cBits())
+	return core.Label(f.z) | core.Label(f.b)<<zb |
+		core.Label(f.c)<<(zb+1) | core.Label(f.o)<<(zb+1+cb)
+}
+
+func (rp *RingProtocol) unpack(l core.Label) fields {
+	zb, cb := uint(rp.zBits()), uint(rp.cBits())
+	f := fields{
+		z: int(l & (1<<zb - 1)),
+		b: core.Bit((l >> zb) & 1),
+		c: int((l >> (zb + 1)) & (1<<cb - 1)),
+		o: core.Bit((l >> (zb + 1 + cb)) & 1),
+	}
+	// Fold adversarial garbage into range.
+	if f.z >= rp.zStates {
+		f.z %= rp.zStates
+	}
+	if f.c > rp.cap {
+		f.c %= rp.cap + 1
+	}
+	return f
+}
+
+// queriedVar returns the variable queried in configuration z, or -1 at
+// sinks.
+func (rp *RingProtocol) queriedVar(z int) int {
+	if z >= len(rp.bp.Nodes) {
+		return -1
+	}
+	return rp.bp.Nodes[z].Var
+}
+
+// transition applies one BP step to configuration z with fetched bit b.
+func (rp *RingProtocol) transition(z int, b core.Bit) int {
+	if z >= len(rp.bp.Nodes) {
+		return z // sinks absorb
+	}
+	nxt := rp.bp.Nodes[z].Next[b]
+	switch nxt {
+	case Accept:
+		return rp.acceptZ()
+	case Reject:
+		return rp.rejectZ()
+	default:
+		return nxt
+	}
+}
+
+func (rp *RingProtocol) build() (*core.Protocol, error) {
+	g := graph.Ring(rp.n)
+	totalBits := rp.zBits() + 1 + rp.cBits() + 1
+	space := core.MustLabelSpace(1 << uint(totalBits))
+	reactions := make([]core.Reaction, rp.n)
+
+	reactions[0] = func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+		f := rp.unpack(in[0])
+		if f.c >= rp.cap {
+			// Simulation period complete: publish and restart.
+			f.o = core.BitOf(f.z == rp.acceptZ())
+			f.z = rp.bp.Start
+			f.c = 0
+		} else {
+			b := f.b
+			if rp.queriedVar(f.z) == 0 {
+				b = input // node 0 answers its own query directly
+			}
+			f.z = rp.transition(f.z, b)
+			f.c++
+		}
+		if rp.queriedVar(f.z) == 0 {
+			f.b = input // pre-fetch for the next lap when the head is here
+		}
+		out[0] = rp.pack(f)
+		return f.o
+	}
+	for i := 1; i < rp.n; i++ {
+		i := i
+		reactions[i] = func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			f := rp.unpack(in[0])
+			if rp.queriedVar(f.z) == i {
+				f.b = input
+			}
+			out[0] = rp.pack(f)
+			return f.o
+		}
+	}
+	p, err := core.NewProtocol(g, space, reactions)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// maxLabels guards the extraction direction below.
+const maxLabels = 1 << 16
+
+// FromRingProtocol extracts a branching program from a stateless protocol
+// on the unidirectional n-ring — the OSu_log ⊆ L/poly direction of
+// Theorem 5.2 (Theorem C.1): simulate the protocol's single circulating
+// wavefront ℓ ← δ_j(ℓ, x_j) for n·|Σ| sequential steps from the fixed
+// label start0, tabulating each step as one BP layer with |Σ| nodes; the
+// produced program has size ≤ n·|Σ|² and computes whatever the protocol's
+// outputs converge to.
+//
+// The protocol must be on the unidirectional ring (in/out degree 1
+// everywhere) and must ignore anything but its incoming label and input.
+func FromRingProtocol(p *core.Protocol, start0 core.Label) (*BP, error) {
+	g := p.Graph()
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if g.InDegree(graph.NodeID(v)) != 1 || g.OutDegree(graph.NodeID(v)) != 1 {
+			return nil, errors.New("bp: protocol graph is not a unidirectional ring")
+		}
+	}
+	sigma := p.Space().Size()
+	if sigma > maxLabels {
+		return nil, fmt.Errorf("bp: label space %d too large to tabulate", sigma)
+	}
+	steps := n * int(sigma)
+	if !p.Space().Contains(start0) {
+		return nil, errors.New("bp: start label outside space")
+	}
+
+	// react tabulates δ_j on a single label.
+	inBuf := make([]core.Label, 1)
+	outBuf := make([]core.Label, 1)
+	lab := make(core.Labeling, g.M())
+	react := func(j int, l core.Label, x core.Bit) (core.Label, core.Bit) {
+		id := g.In(graph.NodeID(j))[0]
+		lab[id] = l
+		y := p.React(graph.NodeID(j), lab, x, inBuf, outBuf)
+		return outBuf[0], y
+	}
+
+	b := &BP{NumInputs: n}
+	// Layered tabulation: layer t has one BP node per label value; reading
+	// x_{t mod n} moves label l to δ(l, x). Only reachable labels are
+	// materialized. The final transition's output bit decides accept.
+	type key struct {
+		t int
+		l core.Label
+	}
+	index := map[key]int{}
+	var order []key
+	alloc := func(k key) int {
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(order)
+		index[k] = id
+		order = append(order, k)
+		return id
+	}
+	alloc(key{0, start0})
+	for qi := 0; qi < len(order); qi++ {
+		k := order[qi]
+		if k.t == steps {
+			continue
+		}
+		for _, bit := range []core.Bit{0, 1} {
+			nl, _ := react(k.t%n, k.l, bit)
+			alloc(key{k.t + 1, nl})
+		}
+	}
+	b.Nodes = make([]Node, len(order))
+	for qi, k := range order {
+		nd := Node{Var: k.t % n}
+		if k.t == steps {
+			// Terminal layer: unreachable queries; point both branches to
+			// the verdict of applying the final node's reaction once more.
+			// (These nodes are never expanded; mark as immediate verdicts.)
+			nd.Next = [2]int{Reject, Reject}
+			b.Nodes[qi] = nd
+			continue
+		}
+		for _, bit := range []core.Bit{0, 1} {
+			nl, y := react(k.t%n, k.l, bit)
+			if k.t == steps-1 {
+				if y == 1 {
+					nd.Next[bit] = Accept
+				} else {
+					nd.Next[bit] = Reject
+				}
+				continue
+			}
+			nd.Next[bit] = index[key{k.t + 1, nl}]
+		}
+		b.Nodes[qi] = nd
+	}
+	b.Start = 0
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("bp: extraction produced invalid program: %w", err)
+	}
+	return b, nil
+}

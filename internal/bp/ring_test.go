@@ -1,0 +1,236 @@
+package bp
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// settle runs the compiled protocol synchronously for SettleBound rounds
+// from l0 and returns the configuration, then checks outputs stay at want
+// for 2 more simulation periods.
+func settleAndCheck(t *testing.T, rp *RingProtocol, x core.Input, l0 core.Labeling, want core.Bit) {
+	t.Helper()
+	p := rp.Protocol()
+	g := p.Graph()
+	cur := core.NewConfig(g, l0)
+	next := cur.Clone()
+	all := make([]graph.NodeID, g.N())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	for k := 0; k < rp.SettleBound(); k++ {
+		core.Step(p, x, cur, &next, all)
+		cur, next = next, cur
+	}
+	for k := 0; k < 2*rp.n*(rp.cap+1); k++ {
+		core.Step(p, x, cur, &next, all)
+		cur, next = next, cur
+		for node, y := range cur.Outputs {
+			if y != want {
+				t.Fatalf("input %s node %d: output %d at settled step %d, want %d",
+					x, node, y, k, want)
+			}
+		}
+	}
+}
+
+func TestRingSimulatesBPs(t *testing.T) {
+	builders := map[string]func() (*BP, error){
+		"parity4": func() (*BP, error) { return Parity(4) },
+		"eq4":     func() (*BP, error) { return Equality(4) },
+		"maj5":    func() (*BP, error) { return Majority(5) },
+		"th3of6":  func() (*BP, error) { return Threshold(6, 3) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			b, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := CompileToRing(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := rp.Protocol().Graph()
+			n := b.NumInputs
+			for v := uint64(0); v < 1<<uint(n); v++ {
+				x := core.InputFromUint(v, n)
+				settleAndCheck(t, rp, x, core.UniformLabeling(g, 0), b.MustEval(x))
+			}
+		})
+	}
+}
+
+func TestRingSelfStabilizes(t *testing.T) {
+	// Garbage initial labelings (transient faults) must wash out within
+	// the settle bound.
+	b, err := Parity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := CompileToRing(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rp.Protocol()
+	rng := rand.New(rand.NewPCG(3, 33))
+	for trial := 0; trial < 12; trial++ {
+		x := core.InputFromUint(rng.Uint64N(16), 4)
+		l0 := core.RandomLabeling(p.Graph(), p.Space(), rng)
+		settleAndCheck(t, rp, x, l0, b.MustEval(x))
+	}
+}
+
+func TestRingLabelComplexityLogarithmic(t *testing.T) {
+	// Theorem 5.2: polynomial-size programs yield O(log n) label bits.
+	b, err := Majority(8) // size O(n²)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := CompileToRing(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z-states ≤ size+2, counter ≤ depth+1: label bits ≈ 2·log(size) + 2.
+	if rp.LabelBits() > 2*16+2 {
+		t.Errorf("label bits %d unexpectedly large", rp.LabelBits())
+	}
+	if rp.LabelBits() < 4 {
+		t.Errorf("label bits %d implausibly small", rp.LabelBits())
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	if _, err := CompileToRing(nil); err == nil {
+		t.Error("nil program should fail")
+	}
+	if _, err := CompileToRing(&BP{NumInputs: 2}); err == nil {
+		t.Error("invalid program should fail")
+	}
+	one, _ := Parity(1)
+	if _, err := CompileToRing(one); err == nil {
+		t.Error("n=1 ring should fail")
+	}
+}
+
+// orRingProtocol is a tiny handcrafted unidirectional-ring protocol whose
+// outputs converge to OR(x) from the all-zero labeling: each node emits
+// in | x_i with a saturating counter-free label. (It is label-stabilizing
+// only when OR(x)=1 reaches a fixed point; from ℓ0=0 it is exact.)
+func orRingProtocol(t *testing.T, n int) *core.Protocol {
+	t.Helper()
+	g := graph.Ring(n)
+	p, err := core.NewUniformProtocol(g, core.BinarySpace(),
+		func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			v := in[0] | core.Label(input)
+			out[0] = v
+			return core.Bit(v)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromRingProtocolOR(t *testing.T) {
+	// Extract a BP from the OR ring protocol and check it computes OR.
+	for _, n := range []int{2, 3, 5} {
+		p := orRingProtocol(t, n)
+		b, err := FromRingProtocol(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive(t, b, func(x core.Input) core.Bit {
+			var r core.Bit
+			for _, bit := range x {
+				r |= bit
+			}
+			return r
+		})
+		// Size must respect the n·|Σ|² tabulation bound.
+		if b.Size() > n*2*2+2 {
+			t.Errorf("n=%d: extracted size %d exceeds n·|Σ|² bound", n, b.Size())
+		}
+	}
+}
+
+func TestRoundTripBPRingBP(t *testing.T) {
+	// BP → ring protocol → BP must preserve the computed function.
+	orig, err := Parity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := CompileToRing(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromRingProtocol(rp.Protocol(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive(t, back, parityFn)
+}
+
+func TestFromRingProtocolValidation(t *testing.T) {
+	g := graph.BidirectionalRing(3)
+	p, err := core.NewUniformProtocol(g, core.BinarySpace(),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			for i := range out {
+				out[i] = in[0]
+			}
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromRingProtocol(p, 0); err == nil {
+		t.Error("bidirectional graph should fail")
+	}
+	uni := orRingProtocol(t, 3)
+	if _, err := FromRingProtocol(uni, 5); err == nil {
+		t.Error("out-of-space start label should fail")
+	}
+}
+
+// TestRandomBPsCompileEquivalently is a property test: random topological
+// branching programs compile onto rings whose settled outputs agree with
+// direct evaluation on random inputs.
+func TestRandomBPsCompileEquivalently(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 7))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + rng.IntN(2)
+		numNodes := 3 + rng.IntN(5)
+		b := &BP{NumInputs: n}
+		for i := 0; i < numNodes; i++ {
+			nd := Node{Var: rng.IntN(n)}
+			for bit := 0; bit < 2; bit++ {
+				switch {
+				case i == numNodes-1 || rng.IntN(3) == 0:
+					if rng.IntN(2) == 0 {
+						nd.Next[bit] = Accept
+					} else {
+						nd.Next[bit] = Reject
+					}
+				default:
+					nd.Next[bit] = i + 1 + rng.IntN(numNodes-i-1)
+				}
+			}
+			b.Nodes = append(b.Nodes, nd)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid BP: %v", trial, err)
+		}
+		rp, err := CompileToRing(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g := rp.Protocol().Graph()
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			x := core.InputFromUint(v, n)
+			settleAndCheck(t, rp, x, core.UniformLabeling(g, 0), b.MustEval(x))
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package circuit provides the Boolean-circuit substrate for the P/poly
+// side of Theorem 5.4: gate-level circuits with evaluation and builders
+// (parity, equality, majority/threshold, random), a compiler from circuits
+// to output-stabilizing stateless protocols on odd bidirectional rings
+// (Appendix C's construction over the D-counter), and the reverse
+// direction — unrolling a synchronous stateless protocol into a layered
+// circuit (the ĂOSb ⊆ P/poly simulation).
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"stateless/internal/core"
+)
+
+// Op is a gate operation.
+type Op int
+
+// Gate operations. OpNot is unary (operand A); all others are binary.
+const (
+	OpAnd Op = iota + 1
+	OpOr
+	OpXor
+	OpNand
+	OpNor
+	OpXnor
+	OpNot
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpXor:
+		return "XOR"
+	case OpNand:
+		return "NAND"
+	case OpNor:
+		return "NOR"
+	case OpXnor:
+		return "XNOR"
+	case OpNot:
+		return "NOT"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Unary reports whether the op takes a single operand.
+func (o Op) Unary() bool { return o == OpNot }
+
+// Apply evaluates the op on bits a, b (b ignored for unary ops).
+func (o Op) Apply(a, b core.Bit) core.Bit {
+	switch o {
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpNand:
+		return 1 - a&b
+	case OpNor:
+		return 1 - (a | b)
+	case OpXnor:
+		return 1 - a ^ b
+	case OpNot:
+		return 1 - a
+	default:
+		return 0
+	}
+}
+
+// Gate is one circuit gate. Operand indices refer to wires: wire k < n is
+// input x_k; wire n+j is the output of gate j. Gates must be topologically
+// ordered (operands reference strictly earlier wires). B is ignored for
+// unary ops.
+type Gate struct {
+	Op   Op
+	A, B int
+}
+
+// Circuit is a single-output Boolean circuit with fan-in ≤ 2. The circuit
+// output is the last gate's output.
+type Circuit struct {
+	NumInputs int
+	Gates     []Gate
+}
+
+// Validation errors.
+var (
+	ErrNoGates     = errors.New("circuit: must have at least one gate")
+	ErrBadOperand  = errors.New("circuit: operand references a later wire")
+	ErrBadNumInput = errors.New("circuit: need at least one input")
+)
+
+// Validate checks structural well-formedness.
+func (c *Circuit) Validate() error {
+	if c.NumInputs < 1 {
+		return ErrBadNumInput
+	}
+	if len(c.Gates) == 0 {
+		return ErrNoGates
+	}
+	for j, g := range c.Gates {
+		limit := c.NumInputs + j
+		if g.A < 0 || g.A >= limit {
+			return fmt.Errorf("%w: gate %d operand A=%d (limit %d)", ErrBadOperand, j, g.A, limit)
+		}
+		if !g.Op.Unary() && (g.B < 0 || g.B >= limit) {
+			return fmt.Errorf("%w: gate %d operand B=%d (limit %d)", ErrBadOperand, j, g.B, limit)
+		}
+		switch g.Op {
+		case OpAnd, OpOr, OpXor, OpNand, OpNor, OpXnor, OpNot:
+		default:
+			return fmt.Errorf("circuit: gate %d has unknown op %d", j, int(g.Op))
+		}
+	}
+	return nil
+}
+
+// Size returns the number of gates |C|.
+func (c *Circuit) Size() int { return len(c.Gates) }
+
+// Eval computes the circuit output on input x (len(x) must equal
+// NumInputs).
+func (c *Circuit) Eval(x core.Input) core.Bit {
+	wires := make([]core.Bit, c.NumInputs+len(c.Gates))
+	copy(wires, x)
+	for j, g := range c.Gates {
+		a := wires[g.A]
+		var b core.Bit
+		if !g.Op.Unary() {
+			b = wires[g.B]
+		}
+		wires[c.NumInputs+j] = g.Op.Apply(a, b)
+	}
+	return wires[len(wires)-1]
+}
+
+// Func returns the circuit as a Boolean function.
+func (c *Circuit) Func() func(core.Input) core.Bit {
+	return func(x core.Input) core.Bit { return c.Eval(x) }
+}
+
+// builder accumulates gates with wire bookkeeping.
+type builder struct {
+	c *Circuit
+}
+
+func newBuilder(numInputs int) *builder {
+	return &builder{c: &Circuit{NumInputs: numInputs}}
+}
+
+// add appends a gate and returns its wire index.
+func (b *builder) add(op Op, a, bb int) int {
+	b.c.Gates = append(b.c.Gates, Gate{Op: op, A: a, B: bb})
+	return b.c.NumInputs + len(b.c.Gates) - 1
+}
+
+// tree folds wires pairwise with op, returning the root wire.
+func (b *builder) tree(op Op, wires []int) int {
+	for len(wires) > 1 {
+		var next []int
+		for i := 0; i+1 < len(wires); i += 2 {
+			next = append(next, b.add(op, wires[i], wires[i+1]))
+		}
+		if len(wires)%2 == 1 {
+			next = append(next, wires[len(wires)-1])
+		}
+		wires = next
+	}
+	return wires[0]
+}
+
+// finish ensures the output is the last gate (inserting an OR(w,w) buffer
+// if the root wire is an input or an interior gate).
+func (b *builder) finish(root int) *Circuit {
+	if len(b.c.Gates) == 0 || root != b.c.NumInputs+len(b.c.Gates)-1 {
+		b.add(OpOr, root, root)
+	}
+	return b.c
+}
+
+// Parity returns the XOR of all n inputs.
+func Parity(n int) (*Circuit, error) {
+	if n < 1 {
+		return nil, ErrBadNumInput
+	}
+	b := newBuilder(n)
+	wires := inputWires(n)
+	if n == 1 {
+		return b.finish(0), nil
+	}
+	return b.finish(b.tree(OpXor, wires)), nil
+}
+
+// AndTree returns the AND of all n inputs.
+func AndTree(n int) (*Circuit, error) {
+	if n < 1 {
+		return nil, ErrBadNumInput
+	}
+	b := newBuilder(n)
+	return b.finish(b.tree(OpAnd, inputWires(n))), nil
+}
+
+// OrTree returns the OR of all n inputs.
+func OrTree(n int) (*Circuit, error) {
+	if n < 1 {
+		return nil, ErrBadNumInput
+	}
+	b := newBuilder(n)
+	return b.finish(b.tree(OpOr, inputWires(n))), nil
+}
+
+func inputWires(n int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = i
+	}
+	return w
+}
+
+// Equality returns the circuit computing the paper's EQ_n (§6): for even
+// n, EQ(x) = 1 iff (x_1..x_{n/2}) = (x_{n/2+1}..x_n); pairwise XNOR folded
+// by an AND tree.
+func Equality(n int) (*Circuit, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, errors.New("circuit: Equality needs even n ≥ 2")
+	}
+	b := newBuilder(n)
+	half := n / 2
+	var pairs []int
+	for i := 0; i < half; i++ {
+		pairs = append(pairs, b.add(OpXnor, i, half+i))
+	}
+	return b.finish(b.tree(OpAnd, pairs)), nil
+}
+
+// Threshold returns the circuit computing TH_k(x) = 1 iff at least k of the
+// n inputs are 1, via the dynamic program
+// th[i][c] = th[i-1][c] OR (x_i AND th[i-1][c-1]).
+func Threshold(n, k int) (*Circuit, error) {
+	if n < 1 {
+		return nil, ErrBadNumInput
+	}
+	if k <= 0 {
+		// Trivially true: x_0 OR NOT x_0.
+		b := newBuilder(n)
+		notX0 := b.add(OpNot, 0, 0)
+		return b.finish(b.add(OpOr, 0, notX0)), nil
+	}
+	if k > n {
+		b := newBuilder(n)
+		notX0 := b.add(OpNot, 0, 0)
+		return b.finish(b.add(OpAnd, 0, notX0)), nil
+	}
+	b := newBuilder(n)
+	// prev[c] = wire for "first i inputs contain ≥ c ones", c = 1..k.
+	// c = 0 is constant true, handled implicitly.
+	prev := make([]int, k+1)
+	for c := 1; c <= k; c++ {
+		prev[c] = -1 // constant false before any input is consumed
+	}
+	for i := 0; i < n; i++ {
+		cur := make([]int, k+1)
+		for c := 1; c <= k; c++ {
+			// th[i+1][c] = th[i][c] OR (x_i AND th[i][c-1]).
+			var gain int // x_i AND th[i][c-1]
+			switch {
+			case c == 1:
+				gain = i // th[i][0] ≡ true, so gain = x_i itself
+			case prev[c-1] == -1:
+				gain = -1 // AND with false
+			default:
+				gain = b.add(OpAnd, i, prev[c-1])
+			}
+			switch {
+			case prev[c] == -1 && gain == -1:
+				cur[c] = -1
+			case prev[c] == -1:
+				cur[c] = gain
+			case gain == -1:
+				cur[c] = prev[c]
+			default:
+				cur[c] = b.add(OpOr, prev[c], gain)
+			}
+		}
+		prev = cur
+	}
+	if prev[k] == -1 {
+		notX0 := b.add(OpNot, 0, 0)
+		return b.finish(b.add(OpAnd, 0, notX0)), nil
+	}
+	return b.finish(prev[k]), nil
+}
+
+// Majority returns the circuit computing the paper's Maj_n (§6):
+// Maj(x) = 1 iff Σx_i ≥ n/2, i.e. TH_⌈n/2⌉ (for odd n, ≥ n/2 means
+// ≥ ⌈n/2⌉; for even n it means ≥ n/2).
+func Majority(n int) (*Circuit, error) {
+	if n < 1 {
+		return nil, ErrBadNumInput
+	}
+	return Threshold(n, (n+1)/2)
+}
+
+// Random returns a random topologically ordered circuit with the given
+// number of gates, for property-based testing.
+func Random(numInputs, numGates int, rng *rand.Rand) (*Circuit, error) {
+	if numInputs < 1 || numGates < 1 {
+		return nil, errors.New("circuit: need ≥1 input and ≥1 gate")
+	}
+	ops := []Op{OpAnd, OpOr, OpXor, OpNand, OpNor, OpXnor, OpNot}
+	c := &Circuit{NumInputs: numInputs}
+	for j := 0; j < numGates; j++ {
+		limit := numInputs + j
+		op := ops[rng.IntN(len(ops))]
+		g := Gate{Op: op, A: rng.IntN(limit)}
+		if !op.Unary() {
+			g.B = rng.IntN(limit)
+		}
+		c.Gates = append(c.Gates, g)
+	}
+	return c, nil
+}

@@ -1,0 +1,192 @@
+package circuit
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"stateless/internal/core"
+)
+
+func exhaustive(t *testing.T, c *Circuit, want func(core.Input) core.Bit) {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	n := c.NumInputs
+	for v := uint64(0); v < 1<<uint(n); v++ {
+		x := core.InputFromUint(v, n)
+		if got := c.Eval(x); got != want(x) {
+			t.Errorf("input %s: got %d, want %d", x, got, want(x))
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		c, err := Parity(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive(t, c, func(x core.Input) core.Bit {
+			var p core.Bit
+			for _, b := range x {
+				p ^= b
+			}
+			return p
+		})
+	}
+}
+
+func TestAndOrTrees(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		and, err := AndTree(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive(t, and, func(x core.Input) core.Bit {
+			r := core.Bit(1)
+			for _, b := range x {
+				r &= b
+			}
+			return r
+		})
+		or, err := OrTree(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive(t, or, func(x core.Input) core.Bit {
+			var r core.Bit
+			for _, b := range x {
+				r |= b
+			}
+			return r
+		})
+	}
+}
+
+func TestEquality(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8} {
+		c, err := Equality(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive(t, c, func(x core.Input) core.Bit {
+			half := len(x) / 2
+			for i := 0; i < half; i++ {
+				if x[i] != x[half+i] {
+					return 0
+				}
+			}
+			return 1
+		})
+	}
+	if _, err := Equality(3); err == nil {
+		t.Error("odd n should fail")
+	}
+	if _, err := Equality(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestThresholdAndMajority(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		for k := 0; k <= n+1; k++ {
+			c, err := Threshold(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := k
+			exhaustive(t, c, func(x core.Input) core.Bit {
+				cnt := 0
+				for _, b := range x {
+					cnt += int(b)
+				}
+				return core.BitOf(cnt >= k)
+			})
+		}
+		maj, err := Majority(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive(t, maj, func(x core.Input) core.Bit {
+			cnt := 0
+			for _, b := range x {
+				cnt += int(b)
+			}
+			return core.BitOf(2*cnt >= len(x))
+		})
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want [4]core.Bit // (a,b) = 00,01,10,11
+	}{
+		{OpAnd, [4]core.Bit{0, 0, 0, 1}},
+		{OpOr, [4]core.Bit{0, 1, 1, 1}},
+		{OpXor, [4]core.Bit{0, 1, 1, 0}},
+		{OpNand, [4]core.Bit{1, 1, 1, 0}},
+		{OpNor, [4]core.Bit{1, 0, 0, 0}},
+		{OpXnor, [4]core.Bit{1, 0, 0, 1}},
+	}
+	for _, tt := range tests {
+		for ab := 0; ab < 4; ab++ {
+			a, b := core.Bit(ab>>1), core.Bit(ab&1)
+			if got := tt.op.Apply(a, b); got != tt.want[ab] {
+				t.Errorf("%v(%d,%d) = %d, want %d", tt.op, a, b, got, tt.want[ab])
+			}
+		}
+	}
+	if OpNot.Apply(0, 0) != 1 || OpNot.Apply(1, 1) != 0 {
+		t.Error("NOT broken")
+	}
+	if !OpNot.Unary() || OpAnd.Unary() {
+		t.Error("Unary broken")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []*Circuit{
+		{NumInputs: 0, Gates: []Gate{{Op: OpAnd}}},
+		{NumInputs: 2},
+		{NumInputs: 2, Gates: []Gate{{Op: OpAnd, A: 2, B: 0}}},  // forward ref
+		{NumInputs: 2, Gates: []Gate{{Op: OpAnd, A: 0, B: -1}}}, // negative
+		{NumInputs: 2, Gates: []Gate{{Op: Op(99), A: 0, B: 1}}}, // unknown op
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate should fail", i)
+		}
+	}
+}
+
+func TestRandomCircuitsValid(t *testing.T) {
+	f := func(seed uint64, nRaw, gRaw uint8) bool {
+		numIn := 1 + int(nRaw%6)
+		numGates := 1 + int(gRaw%30)
+		rng := rand.New(rand.NewPCG(seed, 1))
+		c, err := Random(numIn, numGates, rng)
+		if err != nil {
+			return false
+		}
+		if c.Validate() != nil {
+			return false
+		}
+		// Eval must be total and deterministic.
+		x := core.InputFromUint(seed, numIn)
+		return c.Eval(x) == c.Eval(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircuitFunc(t *testing.T) {
+	c, _ := Parity(3)
+	f := c.Func()
+	if f(core.Input{1, 1, 0}) != 0 || f(core.Input{1, 0, 0}) != 1 {
+		t.Error("Func wrapper broken")
+	}
+}

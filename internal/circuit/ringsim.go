@@ -1,0 +1,333 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+
+	"stateless/internal/core"
+	"stateless/internal/counter"
+	"stateless/internal/graph"
+)
+
+// RingProtocol is a stateless protocol on an odd bidirectional ring that
+// simulates a Boolean circuit — the P/poly ⊆ ĂOSb_log direction of
+// Theorem 5.4, following Appendix C.
+//
+// Ring layout: nodes 0..n-1 carry the circuit inputs; every gate j owns a
+// pair of consecutive "helper" nodes — a gate node that computes the gate
+// and a memory node that retains the computed bit by ping-ponging it on
+// the pair's two edges; one extra forwarding node pads the ring to odd
+// size when needed (the D-counter of Claim 5.6 requires odd rings).
+//
+// A global D-counter with D = |C|·W (window W = N+4) gives every node a
+// synchronised clock. Counter cycle j's window schedules gate j:
+//
+//	phase 0..2   each operand's source node (an input node, or the memory
+//	             node of an earlier gate) injects its bit into the i1/i2
+//	             fields, which all nodes otherwise forward clockwise; the
+//	             bit reaches clockwise distance d exactly at phase d.
+//	phase dmin   the gate node latches the nearer operand into the m field
+//	             toward its memory node (two consecutive writes seed both
+//	             parities of the ping-pong).
+//	phase cp     with cp = max(dmax, dmin+2), the gate node evaluates the
+//	             gate on the latched m and the farther operand still
+//	             present in its i-stream, and latches the result into the
+//	             v field toward its memory node (again two writes).
+//
+// The memory node of the final gate drives the o field, which all nodes
+// forward clockwise and expose as their output bit. Labels keep cycling
+// with the counter, so the protocol is output-stabilizing but deliberately
+// not label-stabilizing — exactly the distinction the paper draws.
+//
+// Self-stabilization: the D-counter stabilizes from any labeling; the
+// first full counter cycle after that recomputes every v from the actual
+// inputs in topological order, after which o is constant.
+type RingProtocol struct {
+	circuit  *Circuit
+	dc       *counter.DCounter
+	protocol *core.Protocol
+	ringSize int
+	window   int
+}
+
+// gatePlan is the precomputed schedule for one gate.
+type gatePlan struct {
+	op           Op
+	unary        bool
+	srcA, srcB   graph.NodeID // source nodes of operands A and B
+	distA, distB int          // clockwise distances to the gate node
+	dmin, dmax   int
+	minIsA       bool
+	computePhase int
+	gateNode     graph.NodeID
+	memNode      graph.NodeID
+	srcAFromMemV bool // operand A is read from the source's stored v
+	srcBFromMemV bool
+}
+
+// Extra field bit positions within the packed label, above the D-counter
+// fields.
+const (
+	bitI1 = iota
+	bitI2
+	bitM
+	bitV
+	bitO
+	numExtraBits
+)
+
+// CompileToRing compiles a validated circuit into a ring protocol.
+func CompileToRing(c *Circuit) (*RingProtocol, error) {
+	if c == nil {
+		return nil, errors.New("circuit: nil circuit")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.NumInputs
+	ringSize := n + 2*len(c.Gates)
+	if ringSize%2 == 0 {
+		ringSize++ // pad to odd for the D-counter
+	}
+	window := ringSize + 4
+	d := uint64(len(c.Gates) * window)
+	dc, err := counter.NewDCounter(ringSize, d)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: counter: %w", err)
+	}
+	rp := &RingProtocol{circuit: c, dc: dc, ringSize: ringSize, window: window}
+	if rp.LabelBits() > 63 {
+		return nil, fmt.Errorf("circuit: packed label needs %d bits > 63 (circuit too large)", rp.LabelBits())
+	}
+
+	plans := make([]gatePlan, len(c.Gates))
+	for j, gate := range c.Gates {
+		gp := gatePlan{
+			op:       gate.Op,
+			unary:    gate.Op.Unary(),
+			gateNode: graph.NodeID(n + 2*j),
+			memNode:  graph.NodeID(n + 2*j + 1),
+		}
+		gp.srcA, gp.srcAFromMemV = rp.sourceOf(gate.A)
+		gp.distA = rp.dist(gp.srcA, gp.gateNode)
+		if gp.unary {
+			gp.srcB, gp.distB = gp.srcA, gp.distA
+			gp.srcBFromMemV = gp.srcAFromMemV
+			gp.dmin, gp.dmax = gp.distA, gp.distA
+			gp.minIsA = true
+			gp.computePhase = gp.distA // value read directly from i1
+		} else {
+			gp.srcB, gp.srcBFromMemV = rp.sourceOf(gate.B)
+			gp.distB = rp.dist(gp.srcB, gp.gateNode)
+			if gp.distA <= gp.distB {
+				gp.dmin, gp.dmax, gp.minIsA = gp.distA, gp.distB, true
+			} else {
+				gp.dmin, gp.dmax, gp.minIsA = gp.distB, gp.distA, false
+			}
+			gp.computePhase = gp.dmax
+			if gp.dmin+2 > gp.computePhase {
+				gp.computePhase = gp.dmin + 2
+			}
+		}
+		if gp.computePhase+1 >= window {
+			return nil, fmt.Errorf("circuit: gate %d schedule overflows window", j)
+		}
+		plans[j] = gp
+	}
+	p, err := rp.build(plans)
+	if err != nil {
+		return nil, err
+	}
+	rp.protocol = p
+	return rp, nil
+}
+
+// sourceOf maps a wire to the ring node that injects its value: input k is
+// injected by node k from its private input; gate i's output is injected
+// by gate i's memory node from its stored v.
+func (rp *RingProtocol) sourceOf(wire int) (graph.NodeID, bool) {
+	if wire < rp.circuit.NumInputs {
+		return graph.NodeID(wire), false
+	}
+	j := wire - rp.circuit.NumInputs
+	return graph.NodeID(rp.circuit.NumInputs + 2*j + 1), true
+}
+
+// dist is the clockwise hop distance src → dst on the ring.
+func (rp *RingProtocol) dist(src, dst graph.NodeID) int {
+	return (int(dst) - int(src) + rp.ringSize) % rp.ringSize
+}
+
+// Protocol returns the compiled stateless protocol. Inputs beyond the
+// circuit's (helper and padding nodes) are ignored, matching Definition
+// 5.3's "helper nodes whose inputs do not affect the function value".
+func (rp *RingProtocol) Protocol() *core.Protocol { return rp.protocol }
+
+// RingSize returns N, the (odd) ring size 2|C|+n (+1 if padding).
+func (rp *RingProtocol) RingSize() int { return rp.ringSize }
+
+// CounterModulus returns D = |C|·(N+4).
+func (rp *RingProtocol) CounterModulus() uint64 { return rp.dc.D() }
+
+// LabelBits returns the protocol's label complexity: the D-counter's
+// 2 + 3·log D plus the five simulation bit-fields — O(log n) for
+// polynomial-size circuits, as Theorem 5.4 requires.
+func (rp *RingProtocol) LabelBits() int { return rp.dc.LabelBits() + numExtraBits }
+
+// SettleBound returns an analytic bound on the synchronous rounds until
+// the output field is correct everywhere from an arbitrary initial
+// labeling: counter stabilization, plus two full counter cycles (the
+// first full cycle after stabilization recomputes every gate; one more
+// lap floods o), plus a lap of slack.
+func (rp *RingProtocol) SettleBound() int {
+	return rp.dc.StabilizationBound() + 2*int(rp.dc.D()) + 2*rp.ringSize
+}
+
+// Inputs returns the ring-level input vector for a circuit input x: x_k at
+// node k, zeros at helper/padding nodes.
+func (rp *RingProtocol) Inputs(x core.Input) (core.Input, error) {
+	if len(x) != rp.circuit.NumInputs {
+		return nil, fmt.Errorf("circuit: input length %d, want %d", len(x), rp.circuit.NumInputs)
+	}
+	full := make(core.Input, rp.ringSize)
+	copy(full, x)
+	return full, nil
+}
+
+// extras unpacks the five simulation bit-fields from a label.
+func (rp *RingProtocol) extras(l core.Label) [numExtraBits]core.Bit {
+	var e [numExtraBits]core.Bit
+	shift := uint(rp.dc.LabelBits())
+	for i := 0; i < numExtraBits; i++ {
+		e[i] = core.Bit((l >> (shift + uint(i))) & 1)
+	}
+	return e
+}
+
+func (rp *RingProtocol) pack(cf counter.Fields, e [numExtraBits]core.Bit) core.Label {
+	l := rp.dc.Pack(cf)
+	shift := uint(rp.dc.LabelBits())
+	for i := 0; i < numExtraBits; i++ {
+		l |= core.Label(e[i]) << (shift + uint(i))
+	}
+	return l
+}
+
+// build wires the per-node reactions.
+func (rp *RingProtocol) build(plans []gatePlan) (*core.Protocol, error) {
+	n := rp.ringSize
+	g := graph.BidirectionalRing(n)
+	space := core.MustLabelSpace(1 << uint(rp.LabelBits()))
+	w := rp.window
+	dcnt := rp.dc
+	last := plans[len(plans)-1]
+
+	// Per-node role tables.
+	type srcTask struct {
+		window  int
+		field   int // bitI1 or bitI2
+		fromMem bool
+	}
+	srcTasks := make([][]srcTask, n)
+	gateOf := make([]int, n) // index into plans, -1 otherwise
+	memOf := make([]int, n)
+	for i := range gateOf {
+		gateOf[i], memOf[i] = -1, -1
+	}
+	for j, gp := range plans {
+		srcTasks[gp.srcA] = append(srcTasks[gp.srcA], srcTask{window: j, field: bitI1, fromMem: gp.srcAFromMemV})
+		if !gp.unary {
+			srcTasks[gp.srcB] = append(srcTasks[gp.srcB], srcTask{window: j, field: bitI2, fromMem: gp.srcBFromMemV})
+		}
+		gateOf[gp.gateNode] = j
+		memOf[gp.memNode] = j
+	}
+
+	reactions := make([]core.Reaction, n)
+	for node := 0; node < n; node++ {
+		node := node
+		ccwIdx, cwIdx, err := counter.RingInIndices(g, node)
+		if err != nil {
+			return nil, err
+		}
+		cwOut, ccwOut, err := counter.RingOutIndices(g, node)
+		if err != nil {
+			return nil, err
+		}
+		tasks := srcTasks[node]
+		gi := gateOf[node]
+		mi := memOf[node]
+		isLastMem := graph.NodeID(node) == last.memNode
+
+		reactions[node] = func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			ccwL, cwL := in[ccwIdx], in[cwIdx]
+			ccwF, cwF := dcnt.Unpack(ccwL), dcnt.Unpack(cwL)
+			ccwE, cwE := rp.extras(ccwL), rp.extras(cwL)
+
+			cf := dcnt.Update(node, ccwF, cwF)
+			c := int(dcnt.Read(node, ccwF, cwF))
+			win, phase := c/w, c%w
+
+			var cwX, ccwX [numExtraBits]core.Bit
+
+			// i1/i2: forward clockwise by default; inject when sourcing.
+			cwX[bitI1] = ccwE[bitI1]
+			cwX[bitI2] = ccwE[bitI2]
+			for _, t := range tasks {
+				if t.window == win && phase <= 2 {
+					v := input
+					if t.fromMem {
+						v = ccwE[bitV] // memory node's stored bit (gate side)
+					}
+					cwX[t.field] = v
+				}
+			}
+
+			// o: forward clockwise; the final gate's memory node drives it.
+			if isLastMem {
+				cwX[bitO] = ccwE[bitV]
+			} else {
+				cwX[bitO] = ccwE[bitO]
+			}
+
+			switch {
+			case gi >= 0:
+				// Gate node: m/v ping-pong toward its memory node (cw).
+				gp := plans[gi]
+				cwX[bitM] = cwE[bitM] // echo from mem by default
+				cwX[bitV] = cwE[bitV]
+				if win == gi {
+					if !gp.unary && (phase == gp.dmin || phase == gp.dmin+1) {
+						if gp.minIsA {
+							cwX[bitM] = ccwE[bitI1]
+						} else {
+							cwX[bitM] = ccwE[bitI2]
+						}
+					}
+					if phase == gp.computePhase || phase == gp.computePhase+1 {
+						var a, b core.Bit
+						if gp.unary {
+							a = ccwE[bitI1]
+						} else if gp.minIsA {
+							a = cwE[bitM]   // latched operand A
+							b = ccwE[bitI2] // farther operand B from stream
+						} else {
+							a = ccwE[bitI1] // farther operand A from stream
+							b = cwE[bitM]   // latched operand B
+						}
+						cwX[bitV] = gp.op.Apply(a, b)
+					}
+				}
+			case mi >= 0:
+				// Memory node: echo m/v back toward its gate node (ccw).
+				ccwX[bitM] = ccwE[bitM]
+				ccwX[bitV] = ccwE[bitV]
+			}
+
+			out[cwOut] = rp.pack(cf, cwX)
+			out[ccwOut] = rp.pack(cf, ccwX)
+			return ccwE[bitO]
+		}
+	}
+	return core.NewProtocol(g, space, reactions)
+}

@@ -1,0 +1,185 @@
+package circuit
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// settleAndCheck runs the compiled ring protocol synchronously from l0 and
+// verifies that after SettleBound rounds every node's output equals want
+// and stays there for a full counter cycle.
+func settleAndCheck(t *testing.T, rp *RingProtocol, x core.Input, l0 core.Labeling, want core.Bit) {
+	t.Helper()
+	p := rp.Protocol()
+	g := p.Graph()
+	full, err := rp.Inputs(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := core.NewConfig(g, l0)
+	next := cur.Clone()
+	all := make([]graph.NodeID, g.N())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	for k := 0; k < rp.SettleBound(); k++ {
+		core.Step(p, full, cur, &next, all)
+		cur, next = next, cur
+	}
+	for k := 0; k < int(rp.CounterModulus())+rp.RingSize(); k++ {
+		core.Step(p, full, cur, &next, all)
+		cur, next = next, cur
+		for node, y := range cur.Outputs {
+			if y != want {
+				t.Fatalf("input %s: node %d output %d at settled round %d, want %d",
+					x, node, y, k, want)
+			}
+		}
+	}
+}
+
+func TestRingSimulatesSmallCircuits(t *testing.T) {
+	builders := map[string]func() (*Circuit, error){
+		"and3":    func() (*Circuit, error) { return AndTree(3) },
+		"or4":     func() (*Circuit, error) { return OrTree(4) },
+		"parity3": func() (*Circuit, error) { return Parity(3) },
+		"eq4":     func() (*Circuit, error) { return Equality(4) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			c, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := CompileToRing(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rp.RingSize()%2 == 0 {
+				t.Fatalf("ring size %d must be odd", rp.RingSize())
+			}
+			g := rp.Protocol().Graph()
+			n := c.NumInputs
+			for v := uint64(0); v < 1<<uint(n); v++ {
+				x := core.InputFromUint(v, n)
+				settleAndCheck(t, rp, x, core.UniformLabeling(g, 0), c.Eval(x))
+			}
+		})
+	}
+}
+
+func TestRingSelfStabilizesFromRandomLabelings(t *testing.T) {
+	// The transient-fault story: arbitrary garbage in every label field,
+	// including the counter fields, must wash out.
+	c, err := Parity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := CompileToRing(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rp.Protocol()
+	rng := rand.New(rand.NewPCG(21, 4))
+	for trial := 0; trial < 6; trial++ {
+		x := core.InputFromUint(rng.Uint64N(8), 3)
+		l0 := core.RandomLabeling(p.Graph(), p.Space(), rng)
+		settleAndCheck(t, rp, x, l0, c.Eval(x))
+	}
+}
+
+func TestRingSimulatesMajority(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger ring; skip in -short")
+	}
+	c, err := Majority(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := CompileToRing(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rp.Protocol().Graph()
+	for v := uint64(0); v < 32; v++ {
+		x := core.InputFromUint(v, 5)
+		settleAndCheck(t, rp, x, core.UniformLabeling(g, 0), c.Eval(x))
+	}
+}
+
+func TestRingSimulatesRandomCircuits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep; skip in -short")
+	}
+	rng := rand.New(rand.NewPCG(7, 70))
+	for trial := 0; trial < 4; trial++ {
+		c, err := Random(3, 4+rng.IntN(4), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := CompileToRing(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := rp.Protocol().Graph()
+		for v := uint64(0); v < 8; v++ {
+			x := core.InputFromUint(v, 3)
+			settleAndCheck(t, rp, x, core.UniformLabeling(g, 0), c.Eval(x))
+		}
+	}
+}
+
+func TestRingLabelComplexityLogarithmic(t *testing.T) {
+	// Theorem 5.4: label complexity O(log D) = O(log n) for poly-size
+	// circuits. Check the exact accounting 2 + 3·⌈log D⌉ + 5.
+	c, err := Equality(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := CompileToRing(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rp.CounterModulus()
+	wantCounterBits := 0
+	for v := d - 1; v > 0; v >>= 1 {
+		wantCounterBits++
+	}
+	want := 2 + 3*wantCounterBits + numExtraBits
+	if rp.LabelBits() != want {
+		t.Errorf("LabelBits = %d, want %d", rp.LabelBits(), want)
+	}
+	if rp.Protocol().LabelBits() != want {
+		t.Errorf("protocol space bits = %d, want %d", rp.Protocol().LabelBits(), want)
+	}
+}
+
+func TestCompileToRingValidation(t *testing.T) {
+	if _, err := CompileToRing(nil); err == nil {
+		t.Error("nil circuit should fail")
+	}
+	if _, err := CompileToRing(&Circuit{NumInputs: 2}); err == nil {
+		t.Error("gateless circuit should fail")
+	}
+}
+
+func TestRingInputsValidation(t *testing.T) {
+	c, _ := AndTree(3)
+	rp, err := CompileToRing(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rp.Inputs(make(core.Input, 2)); err == nil {
+		t.Error("short input should fail")
+	}
+	full, err := rp.Inputs(core.Input{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != rp.RingSize() {
+		t.Errorf("padded input length %d, want %d", len(full), rp.RingSize())
+	}
+}

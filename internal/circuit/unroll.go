@@ -1,0 +1,172 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// FromProtocol unrolls a synchronous run of a stateless protocol into a
+// layered Boolean circuit — the ĂOSb_log ⊆ P/poly direction of Theorem 5.4
+// (and the first part of Theorem C.3's proof): layer t computes the global
+// labeling after t synchronous rounds from the fixed initial labeling l0,
+// with each label bit realized as a DNF over the producing node's incoming
+// label bits and its input bit; the circuit output is node 0's output bit
+// after `rounds` rounds.
+//
+// Gate count is Θ(rounds · Σ_v out_bits(v) · 2^{in_bits(v)}): each reaction
+// is tabulated as a sum of minterms, which is how the proof realizes
+// "every function {0,1}^N → {0,1}^M has a circuit of size M·N·2^N". Only
+// protocols with small per-node fan-in·label-width are tractable; the
+// inBitsLimit guard rejects the rest.
+func FromProtocol(p *core.Protocol, l0 core.Labeling, rounds int) (*Circuit, error) {
+	const inBitsLimit = 14
+	g := p.Graph()
+	n := g.N()
+	if len(l0) != g.M() {
+		return nil, errors.New("circuit: initial labeling length mismatch")
+	}
+	if rounds < 1 {
+		return nil, errors.New("circuit: need at least one round")
+	}
+	labelBits := p.LabelBits()
+	if labelBits == 0 {
+		labelBits = 1
+	}
+	for v := 0; v < n; v++ {
+		if g.InDegree(graph.NodeID(v))*labelBits+1 > inBitsLimit {
+			return nil, fmt.Errorf("circuit: node %d needs %d input bits > limit %d",
+				v, g.InDegree(graph.NodeID(v))*labelBits+1, inBitsLimit)
+		}
+	}
+
+	b := newBuilder(n)
+	// Constant wires, synthesized from input 0: one = x₀ ∨ ¬x₀.
+	notX0 := b.add(OpNot, 0, 0)
+	one := b.add(OpOr, 0, notX0)
+	zero := b.add(OpAnd, 0, notX0)
+
+	// wire[e][k] = circuit wire carrying bit k of edge e's label after the
+	// current layer. Initialized to constants from l0.
+	wires := make([][]int, g.M())
+	for e := range wires {
+		wires[e] = make([]int, labelBits)
+		for k := 0; k < labelBits; k++ {
+			if (l0[e]>>uint(k))&1 == 1 {
+				wires[e][k] = one
+			} else {
+				wires[e][k] = zero
+			}
+		}
+	}
+
+	// tabulate node v's reaction as truth tables over its (in-labels,
+	// input) bits; returns per (out-edge, bit) minterm lists plus the
+	// output bit's minterm list.
+	type table struct {
+		inBits  int
+		outOn   [][]uint32 // per out-label bit: minterm assignments where the bit is 1
+		yOn     []uint32
+		inWires func(assignIdx int) int // not used; assignments enumerated directly
+	}
+	tabulate := func(v graph.NodeID) table {
+		inDeg := g.InDegree(v)
+		outDeg := g.OutDegree(v)
+		inBits := inDeg*labelBits + 1
+		t := table{inBits: inBits, outOn: make([][]uint32, outDeg*labelBits)}
+		in := make([]core.Label, inDeg)
+		out := make([]core.Label, outDeg)
+		lab := make(core.Labeling, g.M())
+		for a := uint32(0); a < 1<<uint(inBits); a++ {
+			for d := 0; d < inDeg; d++ {
+				var l core.Label
+				for k := 0; k < labelBits; k++ {
+					l |= core.Label((a>>uint(d*labelBits+k))&1) << uint(k)
+				}
+				in[d] = l
+				lab[g.In(v)[d]] = l
+			}
+			input := core.Bit((a >> uint(inDeg*labelBits)) & 1)
+			y := p.React(v, lab, input, in, out)
+			for d := 0; d < outDeg; d++ {
+				for k := 0; k < labelBits; k++ {
+					if (out[d]>>uint(k))&1 == 1 {
+						t.outOn[d*labelBits+k] = append(t.outOn[d*labelBits+k], a)
+					}
+				}
+			}
+			if y == 1 {
+				t.yOn = append(t.yOn, a)
+			}
+		}
+		return t
+	}
+	tables := make([]table, n)
+	for v := 0; v < n; v++ {
+		tables[v] = tabulate(graph.NodeID(v))
+	}
+
+	// buildDNF assembles OR over minterms, each an AND over literals of the
+	// node's current input wires.
+	buildDNF := func(v graph.NodeID, on []uint32, cur [][]int) int {
+		inDeg := g.InDegree(v)
+		inBits := inDeg*labelBits + 1
+		if len(on) == 0 {
+			return zero
+		}
+		if len(on) == 1<<uint(inBits) {
+			return one
+		}
+		litWire := func(bit int, positive bool) int {
+			var w int
+			if bit < inDeg*labelBits {
+				w = cur[bit/labelBits][bit%labelBits]
+			} else {
+				w = int(v) // the node's own input variable wire
+			}
+			if positive {
+				return w
+			}
+			return b.add(OpNot, w, 0)
+		}
+		var terms []int
+		for _, a := range on {
+			term := -1
+			for bit := 0; bit < inBits; bit++ {
+				lw := litWire(bit, (a>>uint(bit))&1 == 1)
+				if term == -1 {
+					term = lw
+				} else {
+					term = b.add(OpAnd, term, lw)
+				}
+			}
+			terms = append(terms, term)
+		}
+		return b.tree(OpOr, terms)
+	}
+
+	var outWire int
+	for t := 0; t < rounds; t++ {
+		next := make([][]int, g.M())
+		for v := 0; v < n; v++ {
+			node := graph.NodeID(v)
+			cur := make([][]int, g.InDegree(node))
+			for d, id := range g.In(node) {
+				cur[d] = wires[id]
+			}
+			for d, id := range g.Out(node) {
+				next[id] = make([]int, labelBits)
+				for k := 0; k < labelBits; k++ {
+					next[id][k] = buildDNF(node, tables[v].outOn[d*labelBits+k], cur)
+				}
+			}
+			if t == rounds-1 && v == 0 {
+				outWire = buildDNF(node, tables[v].yOn, cur)
+			}
+		}
+		wires = next
+	}
+	return b.finish(outWire), nil
+}

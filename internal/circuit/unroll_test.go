@@ -1,0 +1,190 @@
+package circuit
+
+import (
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/sim"
+)
+
+// orCliqueProtocol computes OR(x) from the all-zero labeling within 2
+// rounds: nodes broadcast whether they have seen a 1.
+func orCliqueProtocol(t *testing.T, n int) *core.Protocol {
+	t.Helper()
+	g := graph.Clique(n)
+	p, err := core.NewUniformProtocol(g, core.BinarySpace(),
+		func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			any := core.Label(input)
+			for _, l := range in {
+				any |= l
+			}
+			for i := range out {
+				out[i] = any
+			}
+			return core.Bit(any)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromProtocolORClique(t *testing.T) {
+	// Unroll the OR clique protocol for 2 rounds: the circuit must compute
+	// OR over all inputs.
+	for _, n := range []int{3, 4} {
+		p := orCliqueProtocol(t, n)
+		l0 := core.UniformLabeling(p.Graph(), 0)
+		c, err := FromProtocol(p, l0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			x := core.InputFromUint(v, n)
+			want := core.Bit(0)
+			if v != 0 {
+				want = 1
+			}
+			if got := c.Eval(x); got != want {
+				t.Errorf("n=%d input %s: circuit %d, want %d", n, x, got, want)
+			}
+		}
+	}
+}
+
+func TestFromProtocolMatchesSimulatorPerRound(t *testing.T) {
+	// The unrolled circuit's verdict must equal the simulator's node-0
+	// output after exactly `rounds` synchronous rounds, for every round
+	// count and every input.
+	n := 3
+	p := orCliqueProtocol(t, n)
+	g := p.Graph()
+	l0 := core.UniformLabeling(g, 0)
+	for rounds := 1; rounds <= 3; rounds++ {
+		c, err := FromProtocol(p, l0, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			x := core.InputFromUint(v, n)
+			cur := core.NewConfig(g, l0)
+			next := cur.Clone()
+			all := []graph.NodeID{0, 1, 2}
+			for k := 0; k < rounds; k++ {
+				core.Step(p, x, cur, &next, all)
+				cur, next = next, cur
+			}
+			if got := c.Eval(x); got != cur.Outputs[0] {
+				t.Errorf("rounds=%d input %s: circuit %d, simulator %d", rounds, x, got, cur.Outputs[0])
+			}
+		}
+	}
+}
+
+func TestFromProtocolRingParityStyle(t *testing.T) {
+	// A unidirectional-ring protocol: forward XOR of incoming label and
+	// input. After n rounds from the zero labeling, node 0's output is the
+	// XOR of all inputs (its incoming label aggregated the ring).
+	n := 4
+	g := graph.Ring(n)
+	p, err := core.NewUniformProtocol(g, core.BinarySpace(),
+		func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			out[0] = in[0] ^ core.Label(input)
+			return core.Bit(in[0]) ^ input
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0 := core.UniformLabeling(g, 0)
+	c, err := FromProtocol(p, l0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the simulator round by round (the ring protocol
+	// is not stabilizing; the unroller captures the transient exactly).
+	for v := uint64(0); v < 1<<uint(n); v++ {
+		x := core.InputFromUint(v, n)
+		cur := core.NewConfig(g, l0)
+		next := cur.Clone()
+		all := []graph.NodeID{0, 1, 2, 3}
+		for k := 0; k < n; k++ {
+			core.Step(p, x, cur, &next, all)
+			cur, next = next, cur
+		}
+		if got := c.Eval(x); got != cur.Outputs[0] {
+			t.Errorf("input %s: circuit %d, simulator %d", x, got, cur.Outputs[0])
+		}
+	}
+}
+
+func TestCompileToRingRejectsOversizedCircuits(t *testing.T) {
+	// The packed label must fit in 64 bits; unrolled-protocol circuits
+	// (hundreds of tabulated DNF gates) exceed that, and CompileToRing
+	// must say so rather than overflow.
+	p := orCliqueProtocol(t, 3)
+	c, err := FromProtocol(p, core.UniformLabeling(p.Graph(), 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() < 100 {
+		t.Fatalf("expected a large tabulated circuit, got %d gates", c.Size())
+	}
+	if _, err := CompileToRing(c); err == nil {
+		t.Error("oversized circuit should be rejected")
+	}
+}
+
+func TestFromProtocolValidation(t *testing.T) {
+	p := orCliqueProtocol(t, 3)
+	if _, err := FromProtocol(p, core.Labeling{0}, 2); err == nil {
+		t.Error("bad labeling length should fail")
+	}
+	if _, err := FromProtocol(p, core.UniformLabeling(p.Graph(), 0), 0); err == nil {
+		t.Error("zero rounds should fail")
+	}
+	// Fan-in guard: a wide-label protocol on a clique exceeds the limit.
+	big, err := core.NewUniformProtocol(graph.Clique(5), core.MustLabelSpace(1<<10),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			for i := range out {
+				out[i] = 0
+			}
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromProtocol(big, core.UniformLabeling(big.Graph(), 0), 1); err == nil {
+		t.Error("fan-in limit should reject wide protocols")
+	}
+}
+
+func TestFromProtocolOutputStableProtocol(t *testing.T) {
+	// Sanity: for a protocol that stabilizes within R rounds, unrolling R
+	// rounds yields the computed function (the actual C.3 statement).
+	p := orCliqueProtocol(t, 3)
+	g := p.Graph()
+	l0 := core.UniformLabeling(g, 0)
+	res, err := sim.RunSynchronous(p, core.Input{1, 0, 0}, l0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := res.Steps // ≥ round complexity for this input family
+	c, err := FromProtocol(p, l0, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 8; v++ {
+		x := core.InputFromUint(v, 3)
+		want := core.Bit(0)
+		if v != 0 {
+			want = 1
+		}
+		if got := c.Eval(x); got != want {
+			t.Errorf("input %s: %d, want %d", x, got, want)
+		}
+	}
+}

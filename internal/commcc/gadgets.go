@@ -1,0 +1,347 @@
+// Package commcc implements the Theorem 4.1 reduction gadgets: stateless
+// protocols on the clique K_n whose label r-stabilization is equivalent to
+// EQUALITY (Theorem B.4) or SET-DISJOINTNESS (Theorem B.7) of two
+// exponentially long private vectors held by nodes 0 ("Alice") and 1
+// ("Bob"), with nodes 2..n-1 walking a snake-in-the-box of Q_{n-2}.
+// Since EQ and DISJ need Ω(|vector|) bits of communication and the vectors
+// have length Ω(2^n), deciding r-stabilization needs 2^Ω(n) bits.
+//
+// All nodes emit the same bit on all outgoing edges, so a global labeling
+// is effectively a vector in {0,1}^n; the hypercube coordinate of node
+// 2+k is bit k.
+package commcc
+
+import (
+	"errors"
+	"fmt"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/hypercube"
+)
+
+// phi is the orientation function family φ_2..φ_{n-1}: for node j (owning
+// hypercube coordinate j-2), phi maps the *other* coordinates to j's next
+// bit. Only entries needed to walk the snake are constrained; everything
+// else defaults to 0 (the proofs never exercise off-snake dynamics while
+// (ℓ0,ℓ1) permits movement — one off-snake observation by Alice/Bob
+// collapses the system).
+type phi struct {
+	d       int
+	snake   *hypercube.Snake
+	entries []map[hypercube.Vertex]core.Bit // per coordinate: masked-vertex → bit
+}
+
+// newPhi builds the orientation table from a snake, verifying consistency
+// of the induced constraints (guaranteed by the induced-cycle property).
+func newPhi(snake *hypercube.Snake) (*phi, error) {
+	d := snake.D
+	p := &phi{d: d, snake: snake, entries: make([]map[hypercube.Vertex]core.Bit, d)}
+	for c := range p.entries {
+		p.entries[c] = make(map[hypercube.Vertex]core.Bit)
+	}
+	set := func(coord int, masked hypercube.Vertex, bit core.Bit) error {
+		if prev, ok := p.entries[coord][masked]; ok && prev != bit {
+			return fmt.Errorf("commcc: φ conflict at coord %d mask %b", coord, masked)
+		}
+		p.entries[coord][masked] = bit
+		return nil
+	}
+	for i, v := range snake.Vertices {
+		next := snake.Successor(i)
+		diff := v ^ next
+		for c := 0; c < d; c++ {
+			mask := ^(hypercube.Vertex(1) << uint(c))
+			masked := v & mask
+			want := core.Bit((v >> uint(c)) & 1) // keep by default
+			if diff == 1<<uint(c) {
+				want = 1 - want // the moving coordinate flips
+			}
+			if err := set(c, masked, want); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// next returns coordinate c's next bit given the full current vertex
+// (only the other coordinates are consulted).
+func (p *phi) next(c int, v hypercube.Vertex) core.Bit {
+	masked := v & ^(hypercube.Vertex(1) << uint(c))
+	if bit, ok := p.entries[c][masked]; ok {
+		return bit
+	}
+	return 0
+}
+
+// offsetSnake translates the snake by XOR so that 0^d is not on it (the
+// gadgets' stable labelings put the hypercube part at 0^d).
+func offsetSnake(s *hypercube.Snake) (*hypercube.Snake, error) {
+	n := hypercube.Vertex(1) << uint(s.D)
+	for u := hypercube.Vertex(0); u < n; u++ {
+		if !s.Contains(u) {
+			if u == 0 {
+				return s, nil
+			}
+			moved := &hypercube.Snake{D: s.D}
+			for _, v := range s.Vertices {
+				moved.Vertices = append(moved.Vertices, v^u)
+			}
+			return moved, s.Validate()
+		}
+	}
+	return nil, errors.New("commcc: snake covers the entire cube")
+}
+
+// Capacity returns the vector length |S| available to Alice and Bob on
+// K_n: the length of the snake found in Q_{n-2}.
+func Capacity(n int) (int, error) {
+	s, err := hypercube.Search(n-2, 0)
+	if err != nil {
+		return 0, err
+	}
+	return s.Len(), nil
+}
+
+// Gadget bundles a compiled hardness protocol with its structural data.
+type Gadget struct {
+	Protocol *core.Protocol
+	Snake    *hypercube.Snake
+	N        int
+	Q        int // segment length (DISJ gadget); |S| for EQ
+}
+
+// hyperVertexOf reconstructs the hypercube vertex from the labels of nodes
+// 2..n-1 as seen by node j (whose in-slice skips itself).
+//
+// inIdx(src, j): position of src's label in node j's canonical In order on
+// the clique: src if src < j else src-1.
+func hyperVertexOf(in []core.Label, j, n int) hypercube.Vertex {
+	var v hypercube.Vertex
+	for node := 2; node < n; node++ {
+		if node == j {
+			continue
+		}
+		idx := node
+		if node > j {
+			idx = node - 1
+		}
+		if in[idx] != 0 {
+			v |= 1 << uint(node-2)
+		}
+	}
+	return v
+}
+
+// ownCompletion injects node j's own assumed coordinate bit; callers
+// iterate over both completions where needed. For reactions this is never
+// needed: φ_j ignores j's own coordinate and the snake-membership tests of
+// Alice/Bob see all of 2..n-1.
+func labelBit(in []core.Label, src, self int) core.Bit {
+	idx := src
+	if src > self {
+		idx = src - 1
+	}
+	return core.Bit(in[idx] & 1)
+}
+
+// NewEqualityGadget builds the Theorem B.4 protocol on K_n (label space
+// {0,1}): Alice (node 0) holds x, Bob (node 1) holds y, both of length
+// |S|. The protocol is label 1-stabilizing iff x ≠ y:
+//
+//   - Alice emits x_i when the hypercube part sits on snake vertex s_i,
+//     otherwise 1; Bob emits y_i, otherwise 0.
+//   - A hypercube node emits 0 whenever Alice's and Bob's labels differ,
+//     else follows φ along the snake.
+//
+// If x = y, starting at (α, α, s_i) the snake cycles forever. If x ≠ y,
+// any run reaches a disagreement or an off-snake vertex, both of which
+// collapse to the unique stable labeling (1, 0, 0^{n-2}).
+func NewEqualityGadget(n int, x, y []core.Bit) (*Gadget, error) {
+	if n < 5 {
+		return nil, errors.New("commcc: need n ≥ 5")
+	}
+	raw, err := hypercube.Search(n-2, 0)
+	if err != nil {
+		return nil, err
+	}
+	snake, err := offsetSnake(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) != snake.Len() || len(y) != snake.Len() {
+		return nil, fmt.Errorf("commcc: vectors must have length |S| = %d", snake.Len())
+	}
+	ph, err := newPhi(snake)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.Clique(n)
+	reactions := make([]core.Reaction, n)
+
+	emit := func(out []core.Label, b core.Bit) core.Bit {
+		for i := range out {
+			out[i] = core.Label(b)
+		}
+		return b
+	}
+	reactions[0] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+		v := hyperVertexOf(in, 0, n)
+		if i := snake.Index(v); i >= 0 {
+			return emit(out, x[i])
+		}
+		return emit(out, 1)
+	}
+	reactions[1] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+		v := hyperVertexOf(in, 1, n)
+		if i := snake.Index(v); i >= 0 {
+			return emit(out, y[i])
+		}
+		return emit(out, 0)
+	}
+	for j := 2; j < n; j++ {
+		j := j
+		reactions[j] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			if labelBit(in, 0, j) != labelBit(in, 1, j) {
+				return emit(out, 0)
+			}
+			v := hyperVertexOf(in, j, n)
+			v |= 0 // own coordinate irrelevant to φ_j
+			return emit(out, ph.next(j-2, v))
+		}
+	}
+	p, err := core.NewProtocol(g, core.BinarySpace(), reactions)
+	if err != nil {
+		return nil, err
+	}
+	return &Gadget{Protocol: p, Snake: snake, N: n, Q: snake.Len()}, nil
+}
+
+// EqualityOscillationStart returns the initial labeling (α, α, s_0) from
+// which the equality gadget oscillates when x = y.
+func (gd *Gadget) EqualityOscillationStart(alpha core.Bit) core.Labeling {
+	g := gd.Protocol.Graph()
+	l := core.UniformLabeling(g, 0)
+	setUniform := func(node int, b core.Bit) {
+		for _, id := range g.Out(graph.NodeID(node)) {
+			l[id] = core.Label(b)
+		}
+	}
+	setUniform(0, alpha)
+	setUniform(1, alpha)
+	v := gd.Snake.Vertices[0]
+	for k := 0; k < gd.N-2; k++ {
+		setUniform(2+k, core.Bit((v>>uint(k))&1))
+	}
+	return l
+}
+
+// NewDisjointnessGadget builds the Theorem B.7 protocol on K_n: Alice and
+// Bob hold characteristic vectors x, y ∈ {0,1}^q of subsets of [q], with q
+// dividing |S| (the snake is cut into |S|/q segments and index j of the
+// snake queries element j mod q). The protocol is label (q+2)-stabilizing
+// iff the sets are disjoint:
+//
+//   - Alice emits x_{j mod q} when Bob's label is 0 and the cube sits on
+//     s_j, else 0; Bob symmetrically with Alice's label.
+//   - Hypercube nodes advance along φ only while both Alice and Bob emit 1.
+//
+// A common element k lets the adversarial schedule pump the cycle: park on
+// an s_j with j ≡ k, pulse Alice and Bob twice (0,0 then x_k,y_k = 1,1),
+// then advance the cube a full segment. If the sets are disjoint, (1,1)
+// is unattainable from any reachable configuration, the cube falls to
+// 0^{n-2}, and everything converges to the all-zero stable labeling.
+func NewDisjointnessGadget(n int, x, y []core.Bit, q int) (*Gadget, error) {
+	if n < 5 {
+		return nil, errors.New("commcc: need n ≥ 5")
+	}
+	raw, err := hypercube.Search(n-2, 0)
+	if err != nil {
+		return nil, err
+	}
+	snake, err := offsetSnake(raw)
+	if err != nil {
+		return nil, err
+	}
+	if q < 1 || snake.Len()%q != 0 {
+		return nil, fmt.Errorf("commcc: q=%d must divide |S|=%d", q, snake.Len())
+	}
+	if len(x) != q || len(y) != q {
+		return nil, fmt.Errorf("commcc: vectors must have length q=%d", q)
+	}
+	ph, err := newPhi(snake)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.Clique(n)
+	reactions := make([]core.Reaction, n)
+	emit := func(out []core.Label, b core.Bit) core.Bit {
+		for i := range out {
+			out[i] = core.Label(b)
+		}
+		return b
+	}
+	reactions[0] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+		v := hyperVertexOf(in, 0, n)
+		if i := snake.Index(v); i >= 0 && labelBit(in, 1, 0) == 0 {
+			return emit(out, x[i%q])
+		}
+		return emit(out, 0)
+	}
+	reactions[1] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+		v := hyperVertexOf(in, 1, n)
+		if i := snake.Index(v); i >= 0 && labelBit(in, 0, 1) == 0 {
+			return emit(out, y[i%q])
+		}
+		return emit(out, 0)
+	}
+	for j := 2; j < n; j++ {
+		j := j
+		reactions[j] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			if labelBit(in, 0, j) == 1 && labelBit(in, 1, j) == 1 {
+				return emit(out, ph.next(j-2, hyperVertexOf(in, j, n)))
+			}
+			return emit(out, 0)
+		}
+	}
+	p, err := core.NewProtocol(g, core.BinarySpace(), reactions)
+	if err != nil {
+		return nil, err
+	}
+	return &Gadget{Protocol: p, Snake: snake, N: n, Q: q}, nil
+}
+
+// DisjOscillationStart returns the initial labeling (1, 1, s_j0) parked on
+// the first snake index querying the common element k.
+func (gd *Gadget) DisjOscillationStart(k int) core.Labeling {
+	g := gd.Protocol.Graph()
+	l := core.UniformLabeling(g, 0)
+	setUniform := func(node int, b core.Bit) {
+		for _, id := range g.Out(graph.NodeID(node)) {
+			l[id] = core.Label(b)
+		}
+	}
+	setUniform(0, 1)
+	setUniform(1, 1)
+	j0 := k % gd.Q
+	v := gd.Snake.Vertices[j0]
+	for c := 0; c < gd.N-2; c++ {
+		setUniform(2+c, core.Bit((v>>uint(c))&1))
+	}
+	return l
+}
+
+// DisjOscillationSchedule returns the (q+2)-fair script from Claim B.8:
+// pulse {Alice, Bob} twice, then advance the hypercube nodes for q steps.
+func (gd *Gadget) DisjOscillationSchedule() [][]graph.NodeID {
+	var hyper []graph.NodeID
+	for j := 2; j < gd.N; j++ {
+		hyper = append(hyper, graph.NodeID(j))
+	}
+	steps := [][]graph.NodeID{{0, 1}, {0, 1}}
+	for k := 0; k < gd.Q; k++ {
+		steps = append(steps, hyper)
+	}
+	return steps
+}

@@ -1,0 +1,134 @@
+package commcc
+
+import (
+	"errors"
+	"fmt"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/hypercube"
+)
+
+// NewEqualityGadgetR builds the generalized Theorem B.4 protocol for an
+// arbitrary fairness parameter r ≤ 2^{n/2}: the snake lives in Q_{n-4}
+// and is cut into segments of length 3r (plus a remainder segment), with
+// Alice's and Bob's vectors indexed by *segment*; two guard nodes slow the
+// collapse signal down so that an r-fair schedule cannot sneak the cube
+// across a differing segment without Alice, Bob and both guards reacting:
+//
+//	node 0 (Alice): x_{seg(j)} while the guards are not both 1 and the
+//	                cube sits on s_j; otherwise 1.
+//	node 1 (Bob):   y_{seg(j)} likewise; otherwise 0.
+//	node 2 (guard A): copies guard B.
+//	node 3 (guard B): 1 if guard A is 1 or Alice ≠ Bob; else 0.
+//	nodes 4..n-1:   walk φ along the snake while the guards are not both
+//	                1; else 0.
+//
+// If x = y the cube cycles the snake forever (the guards never fire). If
+// x ≠ y, any traversal of a differing segment takes ≥ 3r steps, during
+// which r-fairness forces Alice and Bob (→ disagreement), then guard B,
+// then guard A to react; once both guards are 1 the system collapses to
+// the unique stable labeling (1, 0, 1, 1, 0^{n-4}).
+func NewEqualityGadgetR(n, r int, x, y []core.Bit) (*Gadget, error) {
+	if n < 7 {
+		return nil, errors.New("commcc: generalized gadget needs n ≥ 7")
+	}
+	if r < 1 {
+		return nil, errors.New("commcc: r must be ≥ 1")
+	}
+	raw, err := hypercube.Search(n-4, 0)
+	if err != nil {
+		return nil, err
+	}
+	snake, err := offsetSnake(raw)
+	if err != nil {
+		return nil, err
+	}
+	segLen := 3 * r
+	numSegs := (snake.Len() + segLen - 1) / segLen
+	if len(x) != numSegs || len(y) != numSegs {
+		return nil, fmt.Errorf("commcc: vectors must have length ⌈|S|/3r⌉ = %d", numSegs)
+	}
+	ph, err := newPhi(snake)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.Clique(n)
+	reactions := make([]core.Reaction, n)
+	emit := func(out []core.Label, b core.Bit) core.Bit {
+		for i := range out {
+			out[i] = core.Label(b)
+		}
+		return b
+	}
+	// Hypercube coordinates live on nodes 4..n-1.
+	vertexOf := func(in []core.Label, self int) hypercube.Vertex {
+		var v hypercube.Vertex
+		for node := 4; node < n; node++ {
+			if node == self {
+				continue
+			}
+			if labelBit(in, node, self) != 0 {
+				v |= 1 << uint(node-4)
+			}
+		}
+		return v
+	}
+	guardsHot := func(in []core.Label, self int) bool {
+		return labelBit(in, 2, self) == 1 && labelBit(in, 3, self) == 1
+	}
+	reactions[0] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+		if i := snake.Index(vertexOf(in, 0)); i >= 0 && !guardsHot(in, 0) {
+			return emit(out, x[i/segLen])
+		}
+		return emit(out, 1)
+	}
+	reactions[1] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+		if i := snake.Index(vertexOf(in, 1)); i >= 0 && !guardsHot(in, 1) {
+			return emit(out, y[i/segLen])
+		}
+		return emit(out, 0)
+	}
+	reactions[2] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+		return emit(out, labelBit(in, 3, 2))
+	}
+	reactions[3] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+		if labelBit(in, 2, 3) == 1 || labelBit(in, 0, 3) != labelBit(in, 1, 3) {
+			return emit(out, 1)
+		}
+		return emit(out, 0)
+	}
+	for j := 4; j < n; j++ {
+		j := j
+		reactions[j] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			if guardsHot(in, j) {
+				return emit(out, 0)
+			}
+			return emit(out, ph.next(j-4, vertexOf(in, j)))
+		}
+	}
+	p, err := core.NewProtocol(g, core.BinarySpace(), reactions)
+	if err != nil {
+		return nil, err
+	}
+	return &Gadget{Protocol: p, Snake: snake, N: n, Q: numSegs}, nil
+}
+
+// REqualityOscillationStart returns the (α, α, 0, 0, s_0) labeling from
+// which the generalized gadget oscillates when x = y.
+func (gd *Gadget) REqualityOscillationStart(alpha core.Bit) core.Labeling {
+	g := gd.Protocol.Graph()
+	l := core.UniformLabeling(g, 0)
+	setUniform := func(node int, b core.Bit) {
+		for _, id := range g.Out(graph.NodeID(node)) {
+			l[id] = core.Label(b)
+		}
+	}
+	setUniform(0, alpha)
+	setUniform(1, alpha)
+	v := gd.Snake.Vertices[0]
+	for k := 0; 4+k < gd.N; k++ {
+		setUniform(4+k, core.Bit((v>>uint(k))&1))
+	}
+	return l
+}

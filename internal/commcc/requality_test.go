@@ -1,0 +1,117 @@
+package commcc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/schedule"
+	"stateless/internal/sim"
+)
+
+func TestGeneralizedGadgetOscillatesWhenEqual(t *testing.T) {
+	for _, r := range []int{1, 2} {
+		n := 7 // Q_3 snake of length 6
+		numSegs := (6 + 3*r - 1) / (3 * r)
+		rng := rand.New(rand.NewPCG(uint64(r), 5))
+		x := make([]core.Bit, numSegs)
+		for i := range x {
+			x[i] = core.Bit(rng.IntN(2))
+		}
+		gd, err := NewEqualityGadgetR(n, r, x, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunSynchronous(gd.Protocol, make(core.Input, n),
+			gd.REqualityOscillationStart(0), 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CycleLen == 0 || core.IsStable(gd.Protocol, make(core.Input, n), res.Final.Labels) {
+			t.Fatalf("r=%d x=y: want oscillation, got %v", r, res.Status)
+		}
+	}
+}
+
+func TestGeneralizedGadgetStabilizesWhenDifferent(t *testing.T) {
+	n := 7
+	for _, r := range []int{1, 2} {
+		numSegs := (6 + 3*r - 1) / (3 * r)
+		x := make([]core.Bit, numSegs)
+		y := make([]core.Bit, numSegs)
+		y[numSegs-1] = 1 // differ in the last segment
+		gd, err := NewEqualityGadgetR(n, r, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exhaustive over per-node-uniform labelings under the synchronous
+		// schedule (1-fair ⊆ r-fair).
+		for _, l0 := range allUniformLabelings(gd.Protocol.Graph(), n) {
+			res, err := sim.RunSynchronous(gd.Protocol, make(core.Input, n), l0, 5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != sim.LabelStable {
+				t.Fatalf("r=%d x≠y: %v from a uniform start", r, res.Status)
+			}
+		}
+		// Random r-fair schedules from random labelings.
+		rng := rand.New(rand.NewPCG(uint64(r), 9))
+		for trial := 0; trial < 10; trial++ {
+			sched, err := schedule.NewRandomRFair(n, r, 0.3, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			l0 := core.RandomLabeling(gd.Protocol.Graph(), gd.Protocol.Space(), rng)
+			res, err := sim.Run(gd.Protocol, make(core.Input, n), l0, sched,
+				sim.Options{MaxSteps: 100000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != sim.LabelStable {
+				t.Fatalf("r=%d x≠y trial %d: %v under r-fair schedule", r, trial, res.Status)
+			}
+		}
+	}
+}
+
+func TestGeneralizedGadgetStableLabeling(t *testing.T) {
+	n := 7
+	x := []core.Bit{0, 0}
+	y := []core.Bit{1, 0}
+	gd, err := NewEqualityGadgetR(n, 1, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunSynchronous(gd.Protocol, make(core.Input, n),
+		core.UniformLabeling(gd.Protocol.Graph(), 0), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sim.LabelStable {
+		t.Fatalf("%v", res.Status)
+	}
+	// The unique stable labeling is (1, 0, 1, 1, 0^{n-4}).
+	g := gd.Protocol.Graph()
+	want := []core.Label{1, 0, 1, 1, 0, 0, 0}
+	for node := 0; node < n; node++ {
+		for _, id := range g.Out(graph.NodeID(node)) {
+			if res.Final.Labels[id] != want[node] {
+				t.Fatalf("node %d emits %d, want %d", node, res.Final.Labels[id], want[node])
+			}
+		}
+	}
+}
+
+func TestGeneralizedGadgetValidation(t *testing.T) {
+	if _, err := NewEqualityGadgetR(5, 1, nil, nil); err == nil {
+		t.Error("n<7 should fail")
+	}
+	if _, err := NewEqualityGadgetR(7, 0, nil, nil); err == nil {
+		t.Error("r=0 should fail")
+	}
+	if _, err := NewEqualityGadgetR(7, 1, make([]core.Bit, 1), make([]core.Bit, 1)); err == nil {
+		t.Error("wrong vector length should fail")
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"stateless/internal/graph"
+)
+
+func TestLabelSpace(t *testing.T) {
+	tests := []struct {
+		size     uint64
+		wantBits int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1 << 20, 20},
+	}
+	for _, tt := range tests {
+		s := MustLabelSpace(tt.size)
+		if s.Bits() != tt.wantBits {
+			t.Errorf("size %d: Bits = %d, want %d", tt.size, s.Bits(), tt.wantBits)
+		}
+		if !s.Contains(Label(tt.size - 1)) {
+			t.Errorf("size %d: should contain %d", tt.size, tt.size-1)
+		}
+		if s.Contains(Label(tt.size)) {
+			t.Errorf("size %d: should not contain %d", tt.size, tt.size)
+		}
+	}
+	if _, err := NewLabelSpace(0); err == nil {
+		t.Error("NewLabelSpace(0) should fail")
+	}
+}
+
+func TestBit(t *testing.T) {
+	if BitOf(true) != 1 || BitOf(false) != 0 {
+		t.Error("BitOf broken")
+	}
+	if !Bit(1).Bool() || Bit(0).Bool() {
+		t.Error("Bit.Bool broken")
+	}
+}
+
+// copyReaction forwards each incoming label to the same-index outgoing edge
+// (requires in/out degree equal); output = input.
+func copyReaction(in []Label, input Bit, out []Label) Bit {
+	copy(out, in)
+	return input
+}
+
+// orReaction emits 1 on all outgoing edges iff any incoming label is 1.
+func orReaction(in []Label, input Bit, out []Label) Bit {
+	var any Label
+	for _, l := range in {
+		any |= l
+	}
+	for i := range out {
+		out[i] = any
+	}
+	return Bit(any)
+}
+
+func TestNewProtocolValidation(t *testing.T) {
+	g := graph.Ring(3)
+	if _, err := NewProtocol(nil, BinarySpace(), nil); err == nil {
+		t.Error("nil graph should fail")
+	}
+	if _, err := NewProtocol(g, LabelSpace{}, make([]Reaction, 3)); err == nil {
+		t.Error("empty space should fail")
+	}
+	if _, err := NewProtocol(g, BinarySpace(), []Reaction{copyReaction}); err == nil {
+		t.Error("wrong reaction count should fail")
+	}
+	if _, err := NewProtocol(g, BinarySpace(), []Reaction{copyReaction, nil, copyReaction}); err == nil {
+		t.Error("nil reaction should fail")
+	}
+	p, err := NewUniformProtocol(g, BinarySpace(), copyReaction)
+	if err != nil {
+		t.Fatalf("NewUniformProtocol: %v", err)
+	}
+	if p.LabelBits() != 1 {
+		t.Errorf("LabelBits = %d, want 1", p.LabelBits())
+	}
+}
+
+func TestStepRotatesRing(t *testing.T) {
+	// On the unidirectional ring with copy reactions, a synchronous step
+	// rotates the labeling one hop clockwise.
+	g := graph.Ring(4)
+	p, err := NewUniformProtocol(g, MustLabelSpace(16), copyReaction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := make(Labeling, g.M())
+	for i := range l {
+		l[i] = Label(i + 1)
+	}
+	cur := NewConfig(g, l)
+	next := cur.Clone()
+	x := make(Input, 4)
+	all := []graph.NodeID{0, 1, 2, 3}
+	Step(p, x, cur, &next, all)
+	for v := 0; v < 4; v++ {
+		inID := g.In(graph.NodeID(v))[0]
+		outID := g.Out(graph.NodeID(v))[0]
+		if next.Labels[outID] != cur.Labels[inID] {
+			t.Errorf("node %d: out label %d, want %d", v, next.Labels[outID], cur.Labels[inID])
+		}
+	}
+}
+
+func TestStepReadsPreStepLabels(t *testing.T) {
+	// All nodes active: every node must see the *old* labels even if its
+	// neighbor was also activated (the global transition of §2.1).
+	g := graph.Ring(3)
+	p, _ := NewUniformProtocol(g, MustLabelSpace(100), func(in []Label, _ Bit, out []Label) Bit {
+		out[0] = in[0] + 1
+		return 0
+	})
+	l := Labeling{10, 20, 30}
+	cur := NewConfig(g, l)
+	next := cur.Clone()
+	Step(p, make(Input, 3), cur, &next, []graph.NodeID{0, 1, 2})
+	// Each out-label must be predecessor's OLD in-label + 1, i.e. a
+	// rotation of {11,21,31} — not iterated increments.
+	sum := Label(0)
+	for _, v := range next.Labels {
+		sum += v
+	}
+	if sum != 10+20+30+3 {
+		t.Errorf("labels %v: not a single-step update", next.Labels)
+	}
+}
+
+func TestStepPartialActivation(t *testing.T) {
+	g := graph.Ring(3)
+	p, _ := NewUniformProtocol(g, MustLabelSpace(100), func(in []Label, _ Bit, out []Label) Bit {
+		out[0] = in[0] + 1
+		return 1
+	})
+	cur := NewConfig(g, Labeling{1, 2, 3})
+	next := cur.Clone()
+	Step(p, make(Input, 3), cur, &next, []graph.NodeID{1})
+	// Node 1 reads edge 0→1 and writes edge 1→2; others unchanged.
+	id01, _ := g.EdgeIDOf(0, 1)
+	id12, _ := g.EdgeIDOf(1, 2)
+	id20, _ := g.EdgeIDOf(2, 0)
+	if next.Labels[id12] != cur.Labels[id01]+1 {
+		t.Errorf("edge 1→2 = %d, want %d", next.Labels[id12], cur.Labels[id01]+1)
+	}
+	if next.Labels[id01] != cur.Labels[id01] || next.Labels[id20] != cur.Labels[id20] {
+		t.Error("inactive nodes' outgoing labels must not change")
+	}
+	if next.Outputs[1] != 1 || next.Outputs[0] != 0 {
+		t.Error("outputs updated incorrectly")
+	}
+}
+
+func TestIsStable(t *testing.T) {
+	g := graph.Clique(3)
+	p, _ := NewUniformProtocol(g, BinarySpace(), orReaction)
+	x := make(Input, 3)
+	if !IsStable(p, x, UniformLabeling(g, 0)) {
+		t.Error("all-zero labeling should be stable for OR clique")
+	}
+	if !IsStable(p, x, UniformLabeling(g, 1)) {
+		t.Error("all-one labeling should be stable for OR clique")
+	}
+	mixed := UniformLabeling(g, 0)
+	mixed[0] = 1
+	if IsStable(p, x, mixed) {
+		t.Error("mixed labeling should not be stable")
+	}
+}
+
+func TestStableOutputs(t *testing.T) {
+	g := graph.Clique(3)
+	p, _ := NewUniformProtocol(g, BinarySpace(), orReaction)
+	x := make(Input, 3)
+	outs := StableOutputs(p, x, UniformLabeling(g, 1))
+	for v, y := range outs {
+		if y != 1 {
+			t.Errorf("node %d output %d, want 1", v, y)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := graph.Ring(3)
+	bad, _ := NewUniformProtocol(g, BinarySpace(), func(in []Label, _ Bit, out []Label) Bit {
+		out[0] = 7 // outside Σ = {0,1}
+		return 0
+	})
+	if err := Validate(bad, make(Input, 3), UniformLabeling(g, 0)); err == nil {
+		t.Error("Validate should reject out-of-space emission")
+	}
+	good, _ := NewUniformProtocol(g, BinarySpace(), copyReaction)
+	if err := Validate(good, make(Input, 3), UniformLabeling(g, 1)); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	outOfSpace := Labeling{3, 0, 0}
+	if err := Validate(good, make(Input, 3), outOfSpace); err == nil {
+		t.Error("Validate should reject out-of-space labeling")
+	}
+}
+
+func TestInputRoundTrip(t *testing.T) {
+	f := func(v uint16, nRaw uint8) bool {
+		n := 1 + int(nRaw%16)
+		masked := uint64(v) & ((1 << n) - 1)
+		return InputFromUint(masked, n).Uint() == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelingKeyInjective(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		la := make(Labeling, len(a))
+		lb := make(Labeling, len(b))
+		for i, v := range a {
+			la[i] = Label(v)
+		}
+		for i, v := range b {
+			lb[i] = Label(v)
+		}
+		return la.Equal(lb) == (la.Key() == lb.Key())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomLabelingInSpace(t *testing.T) {
+	g := graph.Clique(4)
+	space := MustLabelSpace(5)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 20; trial++ {
+		l := RandomLabeling(g, space, rng)
+		if len(l) != g.M() {
+			t.Fatalf("labeling length %d, want %d", len(l), g.M())
+		}
+		for _, v := range l {
+			if !space.Contains(v) {
+				t.Fatalf("label %d outside space", v)
+			}
+		}
+	}
+}
+
+// Property: Step is deterministic — same inputs give identical results.
+func TestStepDeterministic(t *testing.T) {
+	g := graph.Clique(4)
+	p, _ := NewUniformProtocol(g, MustLabelSpace(4), func(in []Label, input Bit, out []Label) Bit {
+		var s Label
+		for _, l := range in {
+			s += l
+		}
+		for i := range out {
+			s = (s*31 + Label(i) + Label(input)) % 4
+			out[i] = s
+		}
+		return Bit(s & 1)
+	})
+	f := func(seed uint64, inputBits uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		l := RandomLabeling(g, p.Space(), rng)
+		x := InputFromUint(uint64(inputBits), 4)
+		cur := NewConfig(g, l)
+		n1, n2 := cur.Clone(), cur.Clone()
+		all := []graph.NodeID{0, 1, 2, 3}
+		Step(p, x, cur, &n1, all)
+		Step(p, x, cur, &n2, all)
+		return n1.Labels.Equal(n2.Labels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInputString(t *testing.T) {
+	x := Input{1, 0, 1, 1}
+	if x.String() != "1011" {
+		t.Errorf("String = %q, want 1011", x.String())
+	}
+}
+
+func TestUniformLabeling(t *testing.T) {
+	g := graph.Clique(3)
+	l := UniformLabeling(g, 1)
+	if len(l) != 6 {
+		t.Fatalf("len = %d", len(l))
+	}
+	for _, v := range l {
+		if v != 1 {
+			t.Fatal("not uniform")
+		}
+	}
+}

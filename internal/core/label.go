@@ -1,0 +1,83 @@
+// Package core defines the stateless-computation model of Dolev, Erdmann,
+// Lutz, Schapira and Zair (PODC 2017): a finite label space Σ, per-node
+// reaction functions δ_i : Σ^{-i} × {0,1} → Σ^{+i} × {0,1}, global
+// labelings ℓ ∈ Σ^E, and the global transition function induced by a set of
+// activated nodes. Execution engines live in internal/sim; schedules in
+// internal/schedule; verification in internal/verify.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Label is a single edge label, an element of a finite label space
+// Σ = {0, ..., Size-1}. Rich, structured labels (e.g. the D-counter's
+// (b1,b2,z,g,c) tuples) are packed into the uint64 by protocol-specific
+// codecs; keeping labels integral makes global labelings cheap to copy,
+// compare and hash, which the verifier's state-space search depends on.
+type Label uint64
+
+// Bit is a boolean in {0,1}: a node's private input x_i or output y_i.
+type Bit byte
+
+// Bool converts a Bit to bool.
+func (b Bit) Bool() bool { return b != 0 }
+
+// BitOf converts a bool to a Bit.
+func BitOf(v bool) Bit {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// LabelSpace describes Σ. The zero value is invalid; use NewLabelSpace.
+type LabelSpace struct {
+	size uint64
+}
+
+// ErrEmptySpace is returned when constructing a label space of size 0.
+var ErrEmptySpace = errors.New("core: label space must be nonempty")
+
+// NewLabelSpace returns the label space Σ = {0..size-1}.
+func NewLabelSpace(size uint64) (LabelSpace, error) {
+	if size == 0 {
+		return LabelSpace{}, ErrEmptySpace
+	}
+	return LabelSpace{size: size}, nil
+}
+
+// MustLabelSpace is NewLabelSpace but panics on error; for statically valid
+// sizes.
+func MustLabelSpace(size uint64) LabelSpace {
+	s, err := NewLabelSpace(size)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BinarySpace is the 1-bit label space Σ = {0,1}.
+func BinarySpace() LabelSpace { return LabelSpace{size: 2} }
+
+// Size returns |Σ|.
+func (s LabelSpace) Size() uint64 { return s.size }
+
+// Contains reports whether l ∈ Σ.
+func (s LabelSpace) Contains(l Label) bool { return uint64(l) < s.size }
+
+// Bits returns the label complexity L_n = ⌈log₂|Σ|⌉, the length of a label
+// in binary encoding (§2.3). For |Σ| = 1 it returns 0.
+func (s LabelSpace) Bits() int {
+	if s.size <= 1 {
+		return 0
+	}
+	return bits.Len64(s.size - 1)
+}
+
+// String implements fmt.Stringer.
+func (s LabelSpace) String() string {
+	return fmt.Sprintf("Σ(size=%d, bits=%d)", s.size, s.Bits())
+}

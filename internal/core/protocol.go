@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stateless/internal/graph"
+)
+
+// Reaction is a node's reaction function δ_i. It receives the labels of the
+// node's incoming edges (in the canonical graph.In order) and the node's
+// private input bit, and writes the labels of the node's outgoing edges
+// (canonical graph.Out order) into out, returning the node's output bit.
+//
+// Contract: a Reaction must be a pure, deterministic function of (in,
+// input). It must not retain in or out across calls and must not observe
+// its own previous outgoing labels — that is exactly the statelessness
+// restriction of the model (the internal/stateful package relaxes it).
+// len(out) is the node's out-degree; implementations must fill every entry.
+type Reaction func(in []Label, input Bit, out []Label) Bit
+
+// Protocol is a stateless protocol A = (Σ, δ) on a fixed graph: the label
+// space plus one reaction function per node.
+type Protocol struct {
+	g         *graph.Graph
+	space     LabelSpace
+	reactions []Reaction
+}
+
+// Construction errors.
+var (
+	ErrReactionCount = errors.New("core: need exactly one reaction per node")
+	ErrNilReaction   = errors.New("core: nil reaction function")
+	ErrNilGraph      = errors.New("core: nil graph")
+)
+
+// NewProtocol builds a protocol from a graph, a label space, and one
+// reaction per node (reactions[i] is δ_i).
+func NewProtocol(g *graph.Graph, space LabelSpace, reactions []Reaction) (*Protocol, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	if space.Size() == 0 {
+		return nil, ErrEmptySpace
+	}
+	if len(reactions) != g.N() {
+		return nil, fmt.Errorf("%w: got %d for n=%d", ErrReactionCount, len(reactions), g.N())
+	}
+	for i, r := range reactions {
+		if r == nil {
+			return nil, fmt.Errorf("%w: node %d", ErrNilReaction, i)
+		}
+	}
+	return &Protocol{
+		g:         g,
+		space:     space,
+		reactions: append([]Reaction(nil), reactions...),
+	}, nil
+}
+
+// NewUniformProtocol builds a protocol in which every node runs the same
+// reaction function.
+func NewUniformProtocol(g *graph.Graph, space LabelSpace, r Reaction) (*Protocol, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	reactions := make([]Reaction, g.N())
+	for i := range reactions {
+		reactions[i] = r
+	}
+	return NewProtocol(g, space, reactions)
+}
+
+// Graph returns the protocol's graph.
+func (p *Protocol) Graph() *graph.Graph { return p.g }
+
+// Space returns the protocol's label space Σ.
+func (p *Protocol) Space() LabelSpace { return p.space }
+
+// LabelBits returns the label complexity L_n (§2.3).
+func (p *Protocol) LabelBits() int { return p.space.Bits() }
+
+// React applies node v's reaction function to the incoming labels drawn
+// from the global labeling l, writing v's new outgoing labels into out
+// (which must have length OutDegree(v)) and returning v's output bit.
+// Scratch in-label storage is written into inBuf, which must have length
+// InDegree(v); callers reuse buffers to keep stepping allocation-free.
+func (p *Protocol) React(v graph.NodeID, l Labeling, input Bit, inBuf, out []Label) Bit {
+	for i, id := range p.g.In(v) {
+		inBuf[i] = l[id]
+	}
+	return p.reactions[v](inBuf, input, out)
+}

@@ -1,0 +1,389 @@
+package counter
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+func TestNewTwoCounterValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 4, 6, 10} {
+		if _, err := NewTwoCounter(n); err == nil {
+			t.Errorf("n=%d: want error for even/small ring", n)
+		}
+	}
+	for _, n := range []int{3, 5, 7, 9, 11, 15, 21} {
+		if _, err := NewTwoCounter(n); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// runFields simulates the raw field automaton synchronously: state[j] is
+// node j's currently emitted field bundle.
+func runFields(dc *DCounter, state []Fields, rounds int) []Fields {
+	n := dc.N()
+	next := make([]Fields, n)
+	for t := 0; t < rounds; t++ {
+		for j := 0; j < n; j++ {
+			next[j] = dc.Update(j, state[(j-1+n)%n], state[(j+1)%n])
+		}
+		state, next = next, state
+	}
+	return state
+}
+
+// reads returns each node's decoded counter given the emitted state.
+func reads(dc *DCounter, state []Fields) []uint64 {
+	n := dc.N()
+	out := make([]uint64, n)
+	for j := 0; j < n; j++ {
+		out[j] = dc.Read(j, state[(j-1+n)%n], state[(j+1)%n])
+	}
+	return out
+}
+
+func randFields(d uint64, rng *rand.Rand) Fields {
+	return Fields{
+		B1: core.Bit(rng.IntN(2)),
+		B2: core.Bit(rng.IntN(2)),
+		Z:  rng.Uint64N(d),
+		G:  rng.Uint64N(d),
+		C:  rng.Uint64N(d),
+	}
+}
+
+// TestTwoCounterGlobalAlternation: from random initial fields, after the
+// stabilization horizon every node's Tick is equal at every round and flips
+// each round. This is exactly Claim 5.5's "all nodes simultaneously see the
+// same alternating sequence".
+func TestTwoCounterGlobalAlternation(t *testing.T) {
+	for _, n := range []int{3, 5, 7, 9, 13} {
+		tc, err := NewTwoCounter(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(uint64(n), 99))
+		for trial := 0; trial < 25; trial++ {
+			state := make([]Bits, n)
+			for j := range state {
+				state[j] = Bits{core.Bit(rng.IntN(2)), core.Bit(rng.IntN(2))}
+			}
+			next := make([]Bits, n)
+			stepOnce := func() {
+				for j := 0; j < n; j++ {
+					next[j] = tc.Update(j, state[(j-1+n)%n], state[(j+1)%n])
+				}
+				state, next = next, state
+			}
+			for k := 0; k < 4*n+8; k++ {
+				stepOnce()
+			}
+			ticks := func() []core.Bit {
+				out := make([]core.Bit, n)
+				for j := 0; j < n; j++ {
+					out[j] = tc.Tick(j, state[(j-1+n)%n].B2)
+				}
+				return out
+			}
+			prev := ticks()
+			for round := 0; round < 3*n; round++ {
+				for j := 1; j < n; j++ {
+					if prev[j] != prev[0] {
+						t.Fatalf("n=%d trial %d round %d: ticks disagree: %v", n, trial, round, prev)
+					}
+				}
+				stepOnce()
+				cur := ticks()
+				if cur[0] == prev[0] {
+					t.Fatalf("n=%d trial %d round %d: tick did not alternate", n, trial, round)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// TestDCounterGlobalAgreement: from random initial fields, after the
+// stabilization horizon every node reads the same counter value at every
+// round and the value increments mod D each round (Claim 5.6).
+func TestDCounterGlobalAgreement(t *testing.T) {
+	cases := []struct {
+		n int
+		d uint64
+	}{
+		{3, 2}, {3, 5}, {5, 4}, {5, 17}, {7, 8}, {9, 30}, {13, 64}, {15, 100},
+	}
+	for _, tt := range cases {
+		dc, err := NewDCounter(tt.n, tt.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(uint64(tt.n), tt.d))
+		for trial := 0; trial < 15; trial++ {
+			state := make([]Fields, tt.n)
+			for j := range state {
+				state[j] = randFields(tt.d, rng)
+			}
+			state = runFields(dc, state, dc.StabilizationBound())
+			prev := reads(dc, state)
+			for round := 0; round < 4*tt.n; round++ {
+				for j := 1; j < tt.n; j++ {
+					if prev[j] != prev[0] {
+						t.Fatalf("n=%d D=%d trial %d round %d: reads disagree: %v",
+							tt.n, tt.d, trial, round, prev)
+					}
+				}
+				state = runFields(dc, state, 1)
+				cur := reads(dc, state)
+				if cur[0] != (prev[0]+1)%tt.d {
+					t.Fatalf("n=%d D=%d trial %d round %d: counter %d → %d, want +1 mod D",
+						tt.n, tt.d, trial, round, prev[0], cur[0])
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// TestDCounterStabilizationTime: measure the worst observed stabilization
+// time over random initializations and compare with the paper's R_n = 4n
+// claim (we allow our envelope bound).
+func TestDCounterStabilizationTime(t *testing.T) {
+	for _, n := range []int{5, 9, 13} {
+		dc, err := NewDCounter(n, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(uint64(n), 7))
+		worst := 0
+		for trial := 0; trial < 20; trial++ {
+			state := make([]Fields, n)
+			for j := range state {
+				state[j] = randFields(32, rng)
+			}
+			// Find the first round from which reads agree and keep
+			// agreeing while incrementing for 2n further rounds.
+			stable := -1
+			history := [][]uint64{}
+			for round := 0; round <= dc.StabilizationBound()+4*n; round++ {
+				history = append(history, reads(dc, state))
+				state = runFields(dc, state, 1)
+			}
+			for start := 0; start+2*n < len(history); start++ {
+				ok := true
+				for k := start; k < start+2*n && ok; k++ {
+					row := history[k]
+					for j := 1; j < n; j++ {
+						if row[j] != row[0] {
+							ok = false
+							break
+						}
+					}
+					if ok && k > start && row[0] != (history[k-1][0]+1)%32 {
+						ok = false
+					}
+				}
+				if ok {
+					stable = start
+					break
+				}
+			}
+			if stable < 0 {
+				t.Fatalf("n=%d trial %d: never stabilized", n, trial)
+			}
+			if stable > worst {
+				worst = stable
+			}
+		}
+		if worst > dc.StabilizationBound() {
+			t.Errorf("n=%d: worst stabilization %d exceeds bound %d", n, worst, dc.StabilizationBound())
+		}
+		t.Logf("n=%d: worst observed stabilization %d rounds (paper claims 4n=%d)", n, worst, 4*n)
+	}
+}
+
+func TestDCounterLabelBits(t *testing.T) {
+	// Claim 5.6: L_n = 2 + 3·log D.
+	tests := []struct {
+		d    uint64
+		want int
+	}{
+		{2, 5}, {4, 8}, {8, 11}, {16, 14}, {100, 23}, {1024, 32},
+	}
+	for _, tt := range tests {
+		dc, err := NewDCounter(5, tt.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc.LabelBits() != tt.want {
+			t.Errorf("D=%d: LabelBits = %d, want %d", tt.d, dc.LabelBits(), tt.want)
+		}
+	}
+}
+
+func TestFieldsPackUnpackRoundTrip(t *testing.T) {
+	dc, err := NewDCounter(5, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(b1, b2 bool, z, g, c uint64) bool {
+		in := Fields{
+			B1: core.BitOf(b1), B2: core.BitOf(b2),
+			Z: z % 37, G: g % 37, C: c % 37,
+		}
+		return dc.Unpack(dc.Pack(in)) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackFoldsGarbage(t *testing.T) {
+	dc, err := NewDCounter(3, 5) // field bits = 3, values 5..7 are garbage
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := uint(dc.FieldBits())
+	garbage := core.Label(7)<<2 | core.Label(6)<<(2+k) | core.Label(5)<<(2+2*k) | 3
+	f := dc.Unpack(garbage)
+	if f.Z >= 5 || f.G >= 5 || f.C >= 5 {
+		t.Errorf("garbage not folded into range: %+v", f)
+	}
+}
+
+// TestDCounterProtocol runs the packaged standalone protocol through the
+// generic simulator from random labelings and checks the published C field
+// agreement.
+func TestDCounterProtocol(t *testing.T) {
+	dc, err := NewDCounter(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dc.Protocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph()
+	if p.LabelBits() != dc.LabelBits() {
+		t.Errorf("protocol label bits %d, want %d", p.LabelBits(), dc.LabelBits())
+	}
+	rng := rand.New(rand.NewPCG(11, 13))
+	x := make(core.Input, 7)
+	for trial := 0; trial < 10; trial++ {
+		l := core.RandomLabeling(g, p.Space(), rng)
+		cur := core.NewConfig(g, l)
+		next := cur.Clone()
+		all := make([]graph.NodeID, 7)
+		for i := range all {
+			all[i] = graph.NodeID(i)
+		}
+		for k := 0; k < dc.StabilizationBound(); k++ {
+			core.Step(p, x, cur, &next, all)
+			cur, next = next, cur
+		}
+		// All published C fields must agree for 2n further rounds and
+		// increment.
+		var prev uint64
+		for round := 0; round < 14; round++ {
+			core.Step(p, x, cur, &next, all)
+			cur, next = next, cur
+			var val uint64
+			for i, lab := range cur.Labels {
+				f := dc.Unpack(lab)
+				if i == 0 {
+					val = f.C
+				} else if f.C != val {
+					t.Fatalf("trial %d round %d: published C disagree", trial, round)
+				}
+			}
+			if round > 0 && val != (prev+1)%12 {
+				t.Fatalf("trial %d round %d: C %d → %d not incrementing", trial, round, prev, val)
+			}
+			prev = val
+		}
+	}
+}
+
+func TestNewDCounterValidation(t *testing.T) {
+	if _, err := NewDCounter(5, 1); err == nil {
+		t.Error("D=1 should fail")
+	}
+	if _, err := NewDCounter(4, 8); err == nil {
+		t.Error("even ring should fail")
+	}
+}
+
+func TestRingIndices(t *testing.T) {
+	g := graph.BidirectionalRing(5)
+	for j := 0; j < 5; j++ {
+		ccw, cw, err := RingInIndices(g, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ccw == cw {
+			t.Fatalf("node %d: in-indices collide", j)
+		}
+		cwo, ccwo, err := RingOutIndices(g, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cwo == ccwo {
+			t.Fatalf("node %d: out-indices collide", j)
+		}
+	}
+	uni := graph.Ring(4)
+	if _, _, err := RingInIndices(uni, 0); err == nil {
+		t.Error("unidirectional ring must fail RingInIndices")
+	}
+}
+
+// TestTwoCounterProtocolStandalone runs the packaged 2-counter protocol
+// through the generic simulator from random labelings: after the horizon,
+// every node's output (its Tick) must agree and alternate.
+func TestTwoCounterProtocolStandalone(t *testing.T) {
+	tc, err := NewTwoCounter(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tc.Protocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph()
+	if p.LabelBits() != 2 {
+		t.Errorf("2-counter label bits %d, want 2", p.LabelBits())
+	}
+	rng := rand.New(rand.NewPCG(31, 41))
+	x := make(core.Input, 9)
+	all := make([]graph.NodeID, 9)
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	for trial := 0; trial < 10; trial++ {
+		cur := core.NewConfig(g, core.RandomLabeling(g, p.Space(), rng))
+		next := cur.Clone()
+		for k := 0; k < 5*9; k++ {
+			core.Step(p, x, cur, &next, all)
+			cur, next = next, cur
+		}
+		prev := core.Bit(2) // sentinel
+		for round := 0; round < 20; round++ {
+			core.Step(p, x, cur, &next, all)
+			cur, next = next, cur
+			first := cur.Outputs[0]
+			for node, y := range cur.Outputs {
+				if y != first {
+					t.Fatalf("trial %d round %d: node %d tick %d ≠ %d", trial, round, node, y, first)
+				}
+			}
+			if prev != 2 && first == prev {
+				t.Fatalf("trial %d round %d: tick failed to alternate", trial, round)
+			}
+			prev = first
+		}
+	}
+}

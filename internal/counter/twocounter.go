@@ -1,0 +1,212 @@
+// Package counter implements the paper's self-stabilizing counting
+// substrates on odd bidirectional rings: the 2-counter of Claim 5.5 (a
+// globally agreed alternating "tick" bit) and the D-counter of Claim 5.6
+// (a globally agreed counter value that increments mod D every synchronous
+// round, with label complexity 2 + 3·⌈log D⌉).
+//
+// These protocols do not compute a function of the input; they are
+// reaction-function components that drive the global clock of the
+// Theorem 5.4 circuit simulation (internal/circuit).
+package counter
+
+import (
+	"errors"
+	"fmt"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// TwoCounter is the Claim 5.5 construction on the odd bidirectional n-ring.
+//
+// Every node emits the same two bits (b1, b2) on both of its edges.
+// Information flow (0-indexed; paper indices are 1-based):
+//
+//   - b1: node 0 emits ¬(node 1's b1) — nodes 0,1 form a ping-pong whose
+//     joint orbit is the full 4-cycle, so node 0's b1 follows the period-4
+//     pattern 0,0,1,1 from *any* initialization. Nodes 1..n-2 copy b1 from
+//     their counterclockwise neighbor, delaying the pattern one hop per
+//     step. Node n-1 emits XOR(b1 of node n-2, b1 of node 0): the two
+//     copies of the pattern differ by the odd shift n-2 (n odd), and a
+//     period-4 0,0,1,1 pattern XORed with any odd shift of itself is the
+//     alternating sequence 0,1,0,1.
+//   - b2: node 0 copies node n-1's (alternating) b1 into b2. Down the
+//     chain, odd-indexed nodes negate and even-indexed nodes copy: a copy
+//     plus the one-step delay flips the phase of an alternating bit, while
+//     a negation plus the delay preserves it, so every node's emitted b2
+//     alternates with a *structurally determined* phase offset from node
+//     0's. The offsets are derived once at construction by reference
+//     simulation and folded into Tick.
+//
+// After stabilization (≲ 3n synchronous rounds) Tick(j, ·) is the same bit
+// at every node and flips every round: a global clock modulo 2.
+type TwoCounter struct {
+	n      int
+	offset []core.Bit
+}
+
+// ErrEvenRing is returned for even ring sizes; the XOR phase-extraction at
+// node n-1 needs the odd shift that only odd rings provide (Claim 5.5).
+var ErrEvenRing = errors.New("counter: ring size must be odd and ≥ 3")
+
+// Bits is a node's emitted 2-counter field pair.
+type Bits struct {
+	B1, B2 core.Bit
+}
+
+// NewTwoCounter builds the 2-counter component for an odd ring of size n.
+func NewTwoCounter(n int) (*TwoCounter, error) {
+	if n < 3 || n%2 == 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrEvenRing, n)
+	}
+	tc := &TwoCounter{n: n}
+	offset, err := tc.calibrate()
+	if err != nil {
+		return nil, err
+	}
+	tc.offset = offset
+	return tc, nil
+}
+
+// N returns the ring size.
+func (tc *TwoCounter) N() int { return tc.n }
+
+// Update computes node j's next emitted bits from the bits it observes on
+// its two incoming edges: ccw from node (j-1) mod n, cw from node (j+1)
+// mod n.
+func (tc *TwoCounter) Update(j int, ccw, cw Bits) Bits {
+	n := tc.n
+	switch {
+	case j == 0:
+		// b1: negate clockwise neighbor's b1 (the ping-pong driver).
+		// b2: copy counterclockwise neighbor's (node n-1's) b1, which is
+		// the alternating XOR output.
+		return Bits{B1: 1 - cw.B1, B2: ccw.B1}
+	case j == n-1:
+		// b1: XOR of the chain-delayed pattern (from n-2, ccw) and the
+		// direct pattern (from 0, cw). b2: copy the chain.
+		return Bits{B1: ccw.B1 ^ cw.B1, B2: ccw.B2}
+	case j%2 == 1:
+		// Odd chain node: copy b1, negate b2 (delay+negate preserves the
+		// alternating phase).
+		return Bits{B1: ccw.B1, B2: 1 - ccw.B2}
+	default:
+		// Even chain node: copy both (delay+copy flips the phase; the
+		// alternation of negations keeps the offsets structurally fixed).
+		return Bits{B1: ccw.B1, B2: ccw.B2}
+	}
+}
+
+// Tick decodes the global clock-parity bit as seen by node j from the b2 it
+// observes on its counterclockwise incoming edge. After stabilization all
+// nodes' Ticks are equal at every round and alternate. The absolute phase
+// (which rounds read as "0") is arbitrary but globally consistent — which
+// is all downstream users (the D-counter) need.
+func (tc *TwoCounter) Tick(j int, b2ccw core.Bit) core.Bit {
+	return b2ccw ^ tc.offset[j]
+}
+
+// calibrate derives the per-node phase offsets by simulating the component
+// from the all-zero state until the b2 streams alternate, then recording
+// each node's phase relative to node 0's. Offsets are structural (they
+// depend only on n), so a single reference run suffices; calibrate verifies
+// alternation and cross-checks two consecutive rounds.
+func (tc *TwoCounter) calibrate() ([]core.Bit, error) {
+	n := tc.n
+	state := make([]Bits, n) // node j's currently emitted bits
+	next := make([]Bits, n)
+	horizon := 6*n + 8
+	for t := 0; t < horizon; t++ {
+		for j := 0; j < n; j++ {
+			next[j] = tc.updateRaw(j, state[(j-1+n)%n], state[(j+1)%n])
+		}
+		state, next = next, state
+	}
+	// Observed b2 at node j is the b2 emitted by node j-1 (ccw neighbor).
+	obs := func(s []Bits, j int) core.Bit { return s[(j-1+n)%n].B2 }
+	// One more round to check alternation.
+	after := make([]Bits, n)
+	for j := 0; j < n; j++ {
+		after[j] = tc.updateRaw(j, state[(j-1+n)%n], state[(j+1)%n])
+	}
+	offset := make([]core.Bit, n)
+	for j := 0; j < n; j++ {
+		if obs(state, j) == obs(after, j) {
+			return nil, fmt.Errorf("counter: calibration failed at n=%d node %d: b2 not alternating", n, j)
+		}
+		offset[j] = obs(state, j) ^ obs(state, 0)
+	}
+	return offset, nil
+}
+
+// updateRaw is Update without the (not yet computed) offsets; identical
+// body, split so calibrate can run before construction completes.
+func (tc *TwoCounter) updateRaw(j int, ccw, cw Bits) Bits { return tc.Update(j, ccw, cw) }
+
+// Protocol wraps the component as a standalone stateless protocol with
+// Σ = {0,1,2,3} (labels pack b1 | b2<<1); every node emits the same label
+// on both edges, inputs are ignored and the output bit is the node's Tick.
+func (tc *TwoCounter) Protocol() (*core.Protocol, error) {
+	g := graph.BidirectionalRing(tc.n)
+	space := core.MustLabelSpace(4)
+	reactions := make([]core.Reaction, tc.n)
+	for j := 0; j < tc.n; j++ {
+		j := j
+		ccwIdx, cwIdx, err := RingInIndices(g, j)
+		if err != nil {
+			return nil, err
+		}
+		reactions[j] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			ccw := unpackBits(in[ccwIdx])
+			cw := unpackBits(in[cwIdx])
+			nb := tc.Update(j, ccw, cw)
+			l := packBits(nb)
+			for i := range out {
+				out[i] = l
+			}
+			return tc.Tick(j, ccw.B2)
+		}
+	}
+	return core.NewProtocol(g, space, reactions)
+}
+
+func packBits(b Bits) core.Label   { return core.Label(b.B1) | core.Label(b.B2)<<1 }
+func unpackBits(l core.Label) Bits { return Bits{B1: core.Bit(l & 1), B2: core.Bit((l >> 1) & 1)} }
+
+// RingInIndices returns, for node j on a bidirectional ring graph, the
+// positions of the counterclockwise (from j-1) and clockwise (from j+1)
+// incoming edges within the node's canonical In order.
+func RingInIndices(g *graph.Graph, j int) (ccwIdx, cwIdx int, err error) {
+	n := g.N()
+	v := graph.NodeID(j)
+	ccw := graph.NodeID((j - 1 + n) % n)
+	cw := graph.NodeID((j + 1) % n)
+	ci, ok := g.InIndex(ccw, v)
+	if !ok {
+		return 0, 0, fmt.Errorf("counter: missing edge %d→%d", ccw, v)
+	}
+	wi, ok := g.InIndex(cw, v)
+	if !ok {
+		return 0, 0, fmt.Errorf("counter: missing edge %d→%d", cw, v)
+	}
+	return ci, wi, nil
+}
+
+// RingOutIndices returns, for node j on a bidirectional ring graph, the
+// positions of the clockwise (to j+1) and counterclockwise (to j-1)
+// outgoing edges within the node's canonical Out order.
+func RingOutIndices(g *graph.Graph, j int) (cwIdx, ccwIdx int, err error) {
+	n := g.N()
+	v := graph.NodeID(j)
+	ccw := graph.NodeID((j - 1 + n) % n)
+	cw := graph.NodeID((j + 1) % n)
+	wi, ok := g.OutIndex(v, cw)
+	if !ok {
+		return 0, 0, fmt.Errorf("counter: missing edge %d→%d", v, cw)
+	}
+	ci, ok := g.OutIndex(v, ccw)
+	if !ok {
+		return 0, 0, fmt.Errorf("counter: missing edge %d→%d", v, ccw)
+	}
+	return wi, ci, nil
+}

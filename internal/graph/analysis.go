@@ -1,0 +1,248 @@
+package graph
+
+import "errors"
+
+// ErrNotStronglyConnected is returned by analyses that require strong
+// connectivity (e.g. spanning in/out trees rooted at a node).
+var ErrNotStronglyConnected = errors.New("graph: not strongly connected")
+
+// bfsDist returns d[v] = length of the shortest directed path from src to v,
+// or -1 if unreachable. If reverse is true, distances are measured along
+// reversed edges (i.e. from v to src in the original graph).
+func (g *Graph) bfsDist(src NodeID, reverse bool) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		var ids []EdgeID
+		if reverse {
+			ids = g.in[v]
+		} else {
+			ids = g.out[v]
+		}
+		for _, id := range ids {
+			var u NodeID
+			if reverse {
+				u = g.edges[id].From
+			} else {
+				u = g.edges[id].To
+			}
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Distances returns shortest directed path lengths from src to every node
+// (-1 when unreachable).
+func (g *Graph) Distances(src NodeID) []int { return g.bfsDist(src, false) }
+
+// IsStronglyConnected reports whether every node can reach every other node.
+func (g *Graph) IsStronglyConnected() bool {
+	fwd := g.bfsDist(0, false)
+	bwd := g.bfsDist(0, true)
+	for v := 0; v < g.n; v++ {
+		if fwd[v] == -1 || bwd[v] == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns max_v dist(src, v), or -1 if some node is
+// unreachable from src.
+func (g *Graph) Eccentricity(src NodeID) int {
+	dist := g.bfsDist(src, false)
+	ecc := 0
+	for _, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Radius returns min over sources of eccentricity — the r of Proposition
+// 2.1 (a lower bound on the round complexity of any output-stabilizing
+// protocol computing a non-constant function). Returns -1 if the graph is
+// not strongly connected.
+func (g *Graph) Radius() int {
+	radius := -1
+	for v := 0; v < g.n; v++ {
+		ecc := g.Eccentricity(NodeID(v))
+		if ecc == -1 {
+			return -1
+		}
+		if radius == -1 || ecc < radius {
+			radius = ecc
+		}
+	}
+	return radius
+}
+
+// Diameter returns max over sources of eccentricity, or -1 if not strongly
+// connected.
+func (g *Graph) Diameter() int {
+	diam := -1
+	for v := 0; v < g.n; v++ {
+		ecc := g.Eccentricity(NodeID(v))
+		if ecc == -1 {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// Tree is a BFS spanning tree rooted at Root. Parent[Root] == -1. For an
+// OutTree, Parent[v] is v's predecessor on a directed root→v path; for an
+// InTree (tree of directed paths v→root), Parent[v] is v's successor on a
+// directed v→root path.
+type Tree struct {
+	Root     NodeID
+	Parent   []NodeID
+	Children [][]NodeID
+	Depth    []int
+}
+
+func (g *Graph) spanningTree(root NodeID, reverse bool) (*Tree, error) {
+	t := &Tree{
+		Root:     root,
+		Parent:   make([]NodeID, g.n),
+		Children: make([][]NodeID, g.n),
+		Depth:    make([]int, g.n),
+	}
+	visited := make([]bool, g.n)
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.Depth[i] = -1
+	}
+	visited[root] = true
+	t.Depth[root] = 0
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		var ids []EdgeID
+		if reverse {
+			ids = g.in[v]
+		} else {
+			ids = g.out[v]
+		}
+		for _, id := range ids {
+			var u NodeID
+			if reverse {
+				u = g.edges[id].From
+			} else {
+				u = g.edges[id].To
+			}
+			if !visited[u] {
+				visited[u] = true
+				t.Parent[u] = v
+				t.Children[v] = append(t.Children[v], u)
+				t.Depth[u] = t.Depth[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	for _, ok := range visited {
+		if !ok {
+			return nil, ErrNotStronglyConnected
+		}
+	}
+	return t, nil
+}
+
+// OutTree returns a BFS spanning tree of directed paths root→v (the T1 of
+// Proposition 2.3, used to broadcast the function value).
+func (g *Graph) OutTree(root NodeID) (*Tree, error) { return g.spanningTree(root, false) }
+
+// InTree returns a BFS spanning tree of directed paths v→root (the T2 of
+// Proposition 2.3, used to aggregate inputs toward the root). Parent[v] is
+// the next hop from v toward the root along a directed edge v→Parent[v].
+func (g *Graph) InTree(root NodeID) (*Tree, error) { return g.spanningTree(root, true) }
+
+// SCCs returns the strongly connected components of the graph in reverse
+// topological order (Tarjan's algorithm, iterative).
+func (g *Graph) SCCs() [][]NodeID {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []NodeID
+		sccs    [][]NodeID
+		counter int
+	)
+	type frame struct {
+		v    NodeID
+		next int
+	}
+	for start := 0; start < g.n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{NodeID(start), 0}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, NodeID(start))
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.next < len(g.out[f.v]) {
+				u := g.edges[g.out[f.v][f.next]].To
+				f.next++
+				if index[u] == unvisited {
+					index[u] = counter
+					low[u] = counter
+					counter++
+					stack = append(stack, u)
+					onStack[u] = true
+					callStack = append(callStack, frame{u, 0})
+				} else if onStack[u] && index[u] < low[f.v] {
+					low[f.v] = index[u]
+				}
+				continue
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}

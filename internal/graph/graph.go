@@ -1,0 +1,199 @@
+// Package graph provides the directed-graph substrate on which stateless
+// protocols run. Nodes are identified by dense integer IDs 0..n-1 and edges
+// are directed; the package guarantees a deterministic ordering of each
+// node's incoming and outgoing edges, which the core model relies on when
+// wiring reaction functions (δ_i : Σ^{-i} × {0,1} → Σ^{+i} × {0,1}).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (processor) in a graph. IDs are dense: a graph
+// with n nodes uses IDs 0..n-1. The paper indexes nodes 1..n; we use
+// 0-based IDs and translate in documentation where it matters.
+type NodeID int
+
+// Edge is a directed edge between two nodes.
+type Edge struct {
+	From NodeID
+	To   NodeID
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d->%d)", e.From, e.To) }
+
+// EdgeID is the dense index of an edge within a graph's edge list. A global
+// labeling ℓ ∈ Σ^E is represented as a slice indexed by EdgeID.
+type EdgeID int
+
+// Graph is an immutable directed graph. Build one with a Builder or one of
+// the topology constructors (Ring, BidirectionalRing, Clique, ...).
+type Graph struct {
+	n     int
+	edges []Edge
+	// in[v] and out[v] list edge IDs incident to v, sorted by the ID of the
+	// opposite endpoint (then by EdgeID). This ordering is part of the
+	// public contract: reaction functions receive/produce label slices in
+	// exactly this order.
+	in  [][]EdgeID
+	out [][]EdgeID
+}
+
+// Errors returned by graph constructors.
+var (
+	ErrNoNodes       = errors.New("graph: must have at least one node")
+	ErrNodeRange     = errors.New("graph: edge endpoint out of range")
+	ErrSelfLoop      = errors.New("graph: self-loops are not allowed")
+	ErrDuplicateEdge = errors.New("graph: duplicate edge")
+)
+
+// New constructs a graph with n nodes and the given directed edges.
+// Self-loops and duplicate edges are rejected: the stateless model forbids a
+// node from reading its own outgoing labels, and a labeling assigns exactly
+// one label per ordered pair.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrNoNodes
+	}
+	seen := make(map[Edge]bool, len(edges))
+	for _, e := range edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return nil, fmt.Errorf("%w: %v with n=%d", ErrNodeRange, e, n)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("%w: %v", ErrSelfLoop, e)
+		}
+		if seen[e] {
+			return nil, fmt.Errorf("%w: %v", ErrDuplicateEdge, e)
+		}
+		seen[e] = true
+	}
+	g := &Graph{
+		n:     n,
+		edges: append([]Edge(nil), edges...),
+		in:    make([][]EdgeID, n),
+		out:   make([][]EdgeID, n),
+	}
+	for id, e := range g.edges {
+		g.out[e.From] = append(g.out[e.From], EdgeID(id))
+		g.in[e.To] = append(g.in[e.To], EdgeID(id))
+	}
+	for v := 0; v < n; v++ {
+		sortByOpposite(g.in[v], g.edges, false)
+		sortByOpposite(g.out[v], g.edges, true)
+	}
+	return g, nil
+}
+
+// MustNew is New but panics on error. Intended for package-internal
+// constructions with statically valid arguments (topology builders, tests).
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func sortByOpposite(ids []EdgeID, edges []Edge, outgoing bool) {
+	sort.Slice(ids, func(a, b int) bool {
+		ea, eb := edges[ids[a]], edges[ids[b]]
+		var oa, ob NodeID
+		if outgoing {
+			oa, ob = ea.To, eb.To
+		} else {
+			oa, ob = ea.From, eb.From
+		}
+		if oa != ob {
+			return oa < ob
+		}
+		return ids[a] < ids[b]
+	})
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns a copy of the edge list, indexed by EdgeID.
+func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.edges...) }
+
+// Edge returns the endpoints of edge id.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// In returns node v's incoming edge IDs in canonical order (sorted by
+// source node). The returned slice must not be modified.
+func (g *Graph) In(v NodeID) []EdgeID { return g.in[v] }
+
+// Out returns node v's outgoing edge IDs in canonical order (sorted by
+// destination node). The returned slice must not be modified.
+func (g *Graph) Out(v NodeID) []EdgeID { return g.out[v] }
+
+// InDegree returns the number of incoming edges of v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// MaxDegree returns Δ(G) = max over nodes of (in-degree + out-degree)/...
+// Following the paper's Theorem 5.10, the degree of a node counts both
+// incoming and outgoing edges; for bidirectional topologies this is twice
+// the undirected degree. We report max(in+out).
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.in[v]) + len(g.out[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// EdgeIDOf returns the EdgeID of the edge from→to, if present.
+func (g *Graph) EdgeIDOf(from, to NodeID) (EdgeID, bool) {
+	for _, id := range g.out[from] {
+		if g.edges[id].To == to {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// HasEdge reports whether the directed edge from→to exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	_, ok := g.EdgeIDOf(from, to)
+	return ok
+}
+
+// InIndex returns the position of edge (from→to) within To(v)'s canonical
+// incoming order, i.e. the index at which node to's reaction function sees
+// the label written by from.
+func (g *Graph) InIndex(from, to NodeID) (int, bool) {
+	for i, id := range g.in[to] {
+		if g.edges[id].From == from {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// OutIndex returns the position of edge (from→to) within from's canonical
+// outgoing order.
+func (g *Graph) OutIndex(from, to NodeID) (int, bool) {
+	for i, id := range g.out[from] {
+		if g.edges[id].To == to {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// String implements fmt.Stringer.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{n=%d, m=%d}", g.n, len(g.edges))
+}

@@ -1,0 +1,311 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		edges   []Edge
+		wantErr error
+	}{
+		{"no nodes", 0, nil, ErrNoNodes},
+		{"negative from", 2, []Edge{{-1, 0}}, ErrNodeRange},
+		{"to out of range", 2, []Edge{{0, 2}}, ErrNodeRange},
+		{"self loop", 2, []Edge{{1, 1}}, ErrSelfLoop},
+		{"duplicate", 2, []Edge{{0, 1}, {0, 1}}, ErrDuplicateEdge},
+		{"ok", 2, []Edge{{0, 1}, {1, 0}}, nil},
+		{"ok no edges", 3, nil, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.n, tt.edges)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("New() error = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("New() = nil error, want %v", tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCanonicalEdgeOrder(t *testing.T) {
+	// Edges supplied out of order; In/Out must be sorted by opposite node.
+	g := MustNew(4, []Edge{{3, 1}, {0, 1}, {2, 1}, {1, 0}, {1, 3}, {1, 2}})
+	in := g.In(1)
+	wantFrom := []NodeID{0, 2, 3}
+	if len(in) != len(wantFrom) {
+		t.Fatalf("In(1) has %d edges, want %d", len(in), len(wantFrom))
+	}
+	for i, id := range in {
+		if g.Edge(id).From != wantFrom[i] {
+			t.Errorf("In(1)[%d] from %d, want %d", i, g.Edge(id).From, wantFrom[i])
+		}
+	}
+	out := g.Out(1)
+	wantTo := []NodeID{0, 2, 3}
+	for i, id := range out {
+		if g.Edge(id).To != wantTo[i] {
+			t.Errorf("Out(1)[%d] to %d, want %d", i, g.Edge(id).To, wantTo[i])
+		}
+	}
+}
+
+func TestInOutIndex(t *testing.T) {
+	g := BidirectionalRing(5)
+	for v := NodeID(0); v < 5; v++ {
+		cw := (v + 1) % 5
+		ccw := (v + 4) % 5
+		if i, ok := g.OutIndex(v, cw); !ok || g.Edge(g.Out(v)[i]).To != cw {
+			t.Fatalf("OutIndex(%d→%d) broken", v, cw)
+		}
+		if i, ok := g.InIndex(ccw, v); !ok || g.Edge(g.In(v)[i]).From != ccw {
+			t.Fatalf("InIndex(%d→%d) broken", ccw, v)
+		}
+	}
+	if _, ok := g.EdgeIDOf(0, 2); ok {
+		t.Error("EdgeIDOf(0,2) should not exist on a 5-ring")
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	tests := []struct {
+		name       string
+		g          *Graph
+		wantN      int
+		wantM      int
+		wantStrong bool
+	}{
+		{"uni ring 5", Ring(5), 5, 5, true},
+		{"bi ring 4", BidirectionalRing(4), 4, 8, true},
+		{"clique 4", Clique(4), 4, 12, true},
+		{"star 5", Star(5), 5, 8, true},
+		{"path 4", Path(4), 4, 6, true},
+		{"torus 3x3", Torus(3, 3), 9, 36, true},
+		{"hypercube 3", Hypercube(3), 8, 24, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.N() != tt.wantN {
+				t.Errorf("N = %d, want %d", tt.g.N(), tt.wantN)
+			}
+			if tt.g.M() != tt.wantM {
+				t.Errorf("M = %d, want %d", tt.g.M(), tt.wantM)
+			}
+			if tt.g.IsStronglyConnected() != tt.wantStrong {
+				t.Errorf("IsStronglyConnected = %v, want %v", tt.g.IsStronglyConnected(), tt.wantStrong)
+			}
+		})
+	}
+}
+
+func TestRadiusDiameter(t *testing.T) {
+	tests := []struct {
+		name       string
+		g          *Graph
+		wantRadius int
+		wantDiam   int
+	}{
+		{"uni ring 5", Ring(5), 4, 4},
+		{"bi ring 6", BidirectionalRing(6), 3, 3},
+		{"bi ring 7", BidirectionalRing(7), 3, 3},
+		{"clique 4", Clique(4), 1, 1},
+		{"star 5", Star(5), 1, 2},
+		{"path 5", Path(5), 2, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if r := tt.g.Radius(); r != tt.wantRadius {
+				t.Errorf("Radius = %d, want %d", r, tt.wantRadius)
+			}
+			if d := tt.g.Diameter(); d != tt.wantDiam {
+				t.Errorf("Diameter = %d, want %d", d, tt.wantDiam)
+			}
+		})
+	}
+}
+
+func TestRadiusNotStronglyConnected(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1}, {1, 2}})
+	if r := g.Radius(); r != -1 {
+		t.Errorf("Radius = %d, want -1 for non-strongly-connected graph", r)
+	}
+	if g.IsStronglyConnected() {
+		t.Error("IsStronglyConnected = true, want false")
+	}
+}
+
+func TestSpanningTrees(t *testing.T) {
+	graphs := map[string]*Graph{
+		"uni ring 6":  Ring(6),
+		"bi ring 5":   BidirectionalRing(5),
+		"clique 5":    Clique(5),
+		"hypercube 3": Hypercube(3),
+		"random": RandomStronglyConnected(12, 0.2,
+			rand.New(rand.NewPCG(1, 2))),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			out, err := g.OutTree(0)
+			if err != nil {
+				t.Fatalf("OutTree: %v", err)
+			}
+			in, err := g.InTree(0)
+			if err != nil {
+				t.Fatalf("InTree: %v", err)
+			}
+			for v := 1; v < g.N(); v++ {
+				// OutTree: edge Parent[v] → v must exist.
+				if !g.HasEdge(out.Parent[v], NodeID(v)) {
+					t.Errorf("OutTree: missing edge %d→%d", out.Parent[v], v)
+				}
+				// InTree: edge v → Parent[v] must exist.
+				if !g.HasEdge(NodeID(v), in.Parent[v]) {
+					t.Errorf("InTree: missing edge %d→%d", v, in.Parent[v])
+				}
+			}
+			if out.Parent[0] != -1 || in.Parent[0] != -1 {
+				t.Error("root parent should be -1")
+			}
+		})
+	}
+}
+
+func TestSpanningTreeNotStrong(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1}})
+	if _, err := g.OutTree(0); err == nil {
+		t.Error("OutTree should fail on disconnected graph")
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// Two 2-cycles joined by a one-way edge: {0,1} → {2,3}.
+	g := MustNew(4, []Edge{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}})
+	sccs := g.SCCs()
+	if len(sccs) != 2 {
+		t.Fatalf("got %d SCCs, want 2: %v", len(sccs), sccs)
+	}
+	sizes := map[int]int{}
+	for _, c := range sccs {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 2 {
+		t.Errorf("want two SCCs of size 2, got %v", sccs)
+	}
+}
+
+func TestSCCsStronglyConnected(t *testing.T) {
+	for _, g := range []*Graph{Ring(7), Clique(5), BidirectionalRing(6)} {
+		sccs := g.SCCs()
+		if len(sccs) != 1 || len(sccs[0]) != g.N() {
+			t.Errorf("%v: want single SCC of size %d, got %d comps", g, g.N(), len(sccs))
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	tests := []struct {
+		g    *Graph
+		want int
+	}{
+		{Ring(5), 2},
+		{BidirectionalRing(5), 4},
+		{Clique(5), 8},
+		{Star(6), 10},
+	}
+	for _, tt := range tests {
+		if got := tt.g.MaxDegree(); got != tt.want {
+			t.Errorf("%v MaxDegree = %d, want %d", tt.g, got, tt.want)
+		}
+	}
+}
+
+// Property: random strongly connected graphs are strongly connected, have
+// radius ≤ diameter ≤ n-1, and deterministic edge orders.
+func TestRandomStronglyConnectedProperties(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := 2 + int(nRaw%10)
+		p := float64(pRaw%100) / 100
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		g := RandomStronglyConnected(n, p, rng)
+		if !g.IsStronglyConnected() {
+			return false
+		}
+		r, d := g.Radius(), g.Diameter()
+		return r >= 1 && r <= d && d <= n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: In and Out partition the edge set consistently.
+func TestInOutConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		g := RandomStronglyConnected(3+int(seed%8), 0.3, rng)
+		countIn, countOut := 0, 0
+		for v := 0; v < g.N(); v++ {
+			countIn += g.InDegree(NodeID(v))
+			countOut += g.OutDegree(NodeID(v))
+			for _, id := range g.In(NodeID(v)) {
+				if g.Edge(id).To != NodeID(v) {
+					return false
+				}
+			}
+			for _, id := range g.Out(NodeID(v)) {
+				if g.Edge(id).From != NodeID(v) {
+					return false
+				}
+			}
+		}
+		return countIn == g.M() && countOut == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	g := Ring(5)
+	d := g.Distances(0)
+	want := []int{0, 1, 2, 3, 4}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist(0,%d) = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestHypercubeStructure(t *testing.T) {
+	g := Hypercube(4)
+	for v := 0; v < g.N(); v++ {
+		if g.OutDegree(NodeID(v)) != 4 || g.InDegree(NodeID(v)) != 4 {
+			t.Fatalf("node %d degree wrong", v)
+		}
+		for _, id := range g.Out(NodeID(v)) {
+			u := g.Edge(id).To
+			diff := v ^ int(u)
+			if diff&(diff-1) != 0 {
+				t.Fatalf("edge %d→%d differs in more than one bit", v, u)
+			}
+		}
+	}
+}
+
+func TestTorusDegrees(t *testing.T) {
+	g := Torus(4, 5)
+	for v := 0; v < g.N(); v++ {
+		if g.OutDegree(NodeID(v)) != 4 {
+			t.Fatalf("torus node %d out-degree %d, want 4", v, g.OutDegree(NodeID(v)))
+		}
+	}
+}

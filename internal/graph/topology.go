@@ -1,0 +1,130 @@
+package graph
+
+import "math/rand/v2"
+
+// Ring returns the unidirectional n-ring: edges i → (i+1) mod n.
+// The paper calls the i → i+1 direction "clockwise".
+func Ring(n int) *Graph {
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{NodeID(i), NodeID((i + 1) % n)})
+	}
+	return MustNew(n, edges)
+}
+
+// BidirectionalRing returns the bidirectional n-ring: both i → i+1
+// ("clockwise") and i+1 → i ("counterclockwise") edges, mod n.
+func BidirectionalRing(n int) *Graph {
+	edges := make([]Edge, 0, 2*n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		edges = append(edges, Edge{NodeID(i), NodeID(j)}, Edge{NodeID(j), NodeID(i)})
+	}
+	return MustNew(n, edges)
+}
+
+// Clique returns the complete directed graph K_n: all ordered pairs.
+func Clique(n int) *Graph {
+	edges := make([]Edge, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edges = append(edges, Edge{NodeID(i), NodeID(j)})
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// Star returns the bidirectional star with node 0 at the center and
+// leaves 1..n-1.
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, 2*(n-1))
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{0, NodeID(i)}, Edge{NodeID(i), 0})
+	}
+	return MustNew(n, edges)
+}
+
+// Path returns the bidirectional path 0 — 1 — ... — n-1.
+func Path(n int) *Graph {
+	edges := make([]Edge, 0, 2*(n-1))
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{NodeID(i), NodeID(i + 1)}, Edge{NodeID(i + 1), NodeID(i)})
+	}
+	return MustNew(n, edges)
+}
+
+// Torus returns the bidirectional rows×cols torus grid (§7 future-work
+// topology). Each node connects to its four grid neighbors with wraparound.
+func Torus(rows, cols int) *Graph {
+	n := rows * cols
+	id := func(r, c int) NodeID {
+		return NodeID(((r+rows)%rows)*cols + (c+cols)%cols)
+	}
+	seen := make(map[Edge]bool)
+	var edges []Edge
+	add := func(a, b NodeID) {
+		if a == b {
+			return
+		}
+		e := Edge{a, b}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := id(r, c)
+			for _, d := range [][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}} {
+				add(v, id(r+d[0], c+d[1]))
+				add(id(r+d[0], c+d[1]), v)
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// Hypercube returns the bidirectional d-dimensional hypercube Q_d on 2^d
+// nodes; node IDs are the vertex bitstrings interpreted as integers.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	edges := make([]Edge, 0, 2*d*n/2)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << b)
+			edges = append(edges, Edge{NodeID(v), NodeID(u)})
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// RandomStronglyConnected returns a random strongly connected directed
+// graph: a Hamiltonian cycle (guaranteeing strong connectivity) plus each
+// remaining ordered pair independently with probability p.
+func RandomStronglyConnected(n int, p float64, rng *rand.Rand) *Graph {
+	perm := rng.Perm(n)
+	seen := make(map[Edge]bool)
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		e := Edge{NodeID(perm[i]), NodeID(perm[(i+1)%n])}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			e := Edge{NodeID(i), NodeID(j)}
+			if !seen[e] && rng.Float64() < p {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	return MustNew(n, edges)
+}

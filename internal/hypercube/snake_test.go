@@ -1,0 +1,81 @@
+package hypercube
+
+import (
+	"testing"
+)
+
+func TestSearchOptimalSmallDimensions(t *testing.T) {
+	// Exact optima for d ≤ 5: s(2)=4, s(3)=6, s(4)=8, s(5)=14.
+	for _, d := range []int{2, 3, 4, 5} {
+		s, err := Search(d, 0)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if s.Len() != KnownOptimal[d] {
+			t.Errorf("d=%d: snake length %d, want optimal %d", d, s.Len(), KnownOptimal[d])
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestSearchD6LowerBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger search; skip in -short")
+	}
+	// Within a modest budget we should find a long (≥ 16 = 0.25·2^6)
+	// induced cycle in Q_6; the Abbott–Katchalski guarantee is λ·2^d with
+	// λ ≥ 0.3 for maximal snakes.
+	s, err := Search(6, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 16 {
+		t.Errorf("Q_6 snake length %d, want ≥ 16", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]*Snake{
+		"too short":    {D: 3, Vertices: []Vertex{0, 1}},
+		"odd length":   {D: 3, Vertices: []Vertex{0, 1, 3, 7, 6}},
+		"not adjacent": {D: 3, Vertices: []Vertex{0, 3, 1, 5}},
+		"repeat":       {D: 3, Vertices: []Vertex{0, 1, 0, 1}},
+		"chord":        {D: 3, Vertices: []Vertex{0, 1, 3, 2, 6, 4}}, // 2–0 chord
+		"out of range": {D: 2, Vertices: []Vertex{0, 1, 5, 4}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", name)
+		}
+	}
+}
+
+func TestValidateAcceptsQ2Cycle(t *testing.T) {
+	s := &Snake{D: 2, Vertices: []Vertex{0, 1, 3, 2}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(3) || s.Contains(7) {
+		t.Error("Contains broken")
+	}
+	if s.Index(2) != 3 || s.Index(7) != -1 {
+		t.Error("Index broken")
+	}
+	if s.Successor(3) != 0 {
+		t.Error("Successor must wrap")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(1, 0); err == nil {
+		t.Error("d=1 should fail")
+	}
+	if _, err := Search(25, 0); err == nil {
+		t.Error("d=25 should fail")
+	}
+}

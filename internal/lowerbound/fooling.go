@@ -1,0 +1,201 @@
+// Package lowerbound implements the paper's lower-bound machinery: fooling
+// sets (Definition 6.1), the cut-based label-complexity bound for
+// label-stabilizing protocols (Theorem 6.2), the concrete fooling sets for
+// equality and majority on bidirectional rings (Corollaries 6.3 and 6.4),
+// and the counting bound for bounded-degree graphs (Theorem 5.10).
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// Pair is one element (x, y) of a fooling set, with x ∈ {0,1}^m the inputs
+// of nodes 0..m-1 and y ∈ {0,1}^{n-m} the inputs of nodes m..n-1.
+type Pair struct {
+	X, Y core.Input
+}
+
+// Join concatenates the pair into a full input vector.
+func (p Pair) Join() core.Input {
+	out := make(core.Input, 0, len(p.X)+len(p.Y))
+	out = append(out, p.X...)
+	return append(out, p.Y...)
+}
+
+// FoolingSet is a fooling set for a Boolean function (Definition 6.1): all
+// pairs evaluate to Value, and for any two distinct pairs at least one of
+// the crossovers evaluates differently.
+type FoolingSet struct {
+	M     int // split point: |x| = M
+	Value core.Bit
+	Pairs []Pair
+}
+
+// Size returns |S|.
+func (s *FoolingSet) Size() int { return len(s.Pairs) }
+
+// Verify checks Definition 6.1 against f exhaustively over all pairs of
+// elements. n is the total input length.
+func (s *FoolingSet) Verify(f func(core.Input) core.Bit, n int) error {
+	if len(s.Pairs) == 0 {
+		return errors.New("lowerbound: empty fooling set")
+	}
+	for i, p := range s.Pairs {
+		if len(p.X) != s.M || len(p.X)+len(p.Y) != n {
+			return fmt.Errorf("lowerbound: pair %d has shape (%d,%d), want (%d,%d)",
+				i, len(p.X), len(p.Y), s.M, n-s.M)
+		}
+		if f(p.Join()) != s.Value {
+			return fmt.Errorf("lowerbound: pair %d evaluates to %d, want %d", i, f(p.Join()), s.Value)
+		}
+	}
+	for i := range s.Pairs {
+		for j := i + 1; j < len(s.Pairs); j++ {
+			cross1 := Pair{X: s.Pairs[i].X, Y: s.Pairs[j].Y}
+			cross2 := Pair{X: s.Pairs[j].X, Y: s.Pairs[i].Y}
+			if f(cross1.Join()) == s.Value && f(cross2.Join()) == s.Value {
+				return fmt.Errorf("lowerbound: pairs %d,%d are not fooling (both crossovers = %d)",
+					i, j, s.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// Cut describes the directed cut around the node subset {0..m-1}: C is the
+// set of edges leaving the subset, D the set entering it (Theorem 6.2).
+type Cut struct {
+	C, D []graph.EdgeID
+}
+
+// CutOf computes the cut of subset {0..m-1} in g.
+func CutOf(g *graph.Graph, m int) Cut {
+	var cut Cut
+	for id, e := range g.Edges() {
+		inFrom := int(e.From) < m
+		inTo := int(e.To) < m
+		switch {
+		case inFrom && !inTo:
+			cut.C = append(cut.C, graph.EdgeID(id))
+		case !inFrom && inTo:
+			cut.D = append(cut.D, graph.EdgeID(id))
+		}
+	}
+	return cut
+}
+
+// Bound returns the Theorem 6.2 label-complexity lower bound
+// log₂|S| / (|C|+|D|) in bits, for the fooling set s on graph g: every
+// label-stabilizing protocol computing f on g needs labels at least this
+// long. (The proof pins down an injection from S into the labelings of the
+// cut edges at stabilization.)
+func Bound(g *graph.Graph, s *FoolingSet) (float64, error) {
+	if s.Size() == 0 {
+		return 0, errors.New("lowerbound: empty fooling set")
+	}
+	cut := CutOf(g, s.M)
+	denom := len(cut.C) + len(cut.D)
+	if denom == 0 {
+		return 0, errors.New("lowerbound: subset has empty cut; graph not connected across split")
+	}
+	return math.Log2(float64(s.Size())) / float64(denom), nil
+}
+
+// EqualityFn is the paper's EQ_n: 1 iff n is even and the first half of x
+// equals the second half.
+func EqualityFn(x core.Input) core.Bit {
+	if len(x)%2 != 0 {
+		return 0
+	}
+	half := len(x) / 2
+	for i := 0; i < half; i++ {
+		if x[i] != x[half+i] {
+			return 0
+		}
+	}
+	return 1
+}
+
+// MajorityFn is the paper's Maj_n: 1 iff Σx_i ≥ n/2.
+func MajorityFn(x core.Input) core.Bit {
+	cnt := 0
+	for _, b := range x {
+		cnt += int(b)
+	}
+	return core.BitOf(2*cnt >= len(x))
+}
+
+// EqualityFoolingSet builds the Corollary 6.3 fooling set for EQ_n (even
+// n ≥ 4): S = {(x, x) : x ∈ {0,1}^{n/2}, x_0 = 1}, of size 2^{n/2-1}. On
+// the bidirectional n-ring the cut around the first half has 4 edges, so
+// the bound is (n/2 − 1)/4 = (n−2)/8 bits.
+func EqualityFoolingSet(n int) (*FoolingSet, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, errors.New("lowerbound: EqualityFoolingSet needs even n ≥ 4")
+	}
+	half := n / 2
+	s := &FoolingSet{M: half, Value: 1}
+	for v := uint64(0); v < 1<<uint(half-1); v++ {
+		x := make(core.Input, half)
+		x[0] = 1
+		for i := 1; i < half; i++ {
+			x[i] = core.Bit((v >> uint(i-1)) & 1)
+		}
+		s.Pairs = append(s.Pairs, Pair{X: x, Y: append(core.Input(nil), x...)})
+	}
+	return s, nil
+}
+
+// MajorityFoolingSet builds the Corollary 6.4 fooling set for Maj_n
+// (n ≥ 3): with m = ⌊n/2⌋ and Q = {(1, 1^k 0^{m-1-k})}, the set is
+// {(x, x̄)} for even n and {(x, (x̄,1))} for odd n, of size m = ⌊n/2⌋;
+// with the 4-edge ring cut this yields the log₂⌊n/2⌋ / 4 bound.
+func MajorityFoolingSet(n int) (*FoolingSet, error) {
+	if n < 3 {
+		return nil, errors.New("lowerbound: MajorityFoolingSet needs n ≥ 3")
+	}
+	m := n / 2
+	s := &FoolingSet{M: m, Value: 1}
+	for k := 0; k < m; k++ {
+		x := make(core.Input, m)
+		x[0] = 1
+		for i := 1; i <= k; i++ {
+			x[i] = 1
+		}
+		y := make(core.Input, n-m)
+		for i := 0; i < m; i++ {
+			y[i] = 1 - x[i]
+		}
+		if n%2 == 1 {
+			y[m] = 1
+		}
+		s.Pairs = append(s.Pairs, Pair{X: x, Y: y})
+	}
+	return s, nil
+}
+
+// CountingBound returns the Theorem 5.10 lower bound n/(4k) on the label
+// complexity of *some* Boolean function on any graph family of maximum
+// degree k — there are simply not enough distinct protocols with shorter
+// labels to realize all 2^{2^n} functions.
+func CountingBound(n, k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / float64(4*k)
+}
+
+// ProtocolCountBits returns log₂ of the paper's upper bound on the number
+// of distinct protocols with label length L on an n-node graph of maximum
+// degree k: (2·|Σ|^k)^{2n·|Σ|^k} with |Σ| = 2^L; used by the counting
+// argument of Theorem 5.10. Returned in bits (log₂ of the count).
+func ProtocolCountBits(n, k, labelBits int) float64 {
+	sigmaK := math.Pow(2, float64(labelBits*k)) // |Σ|^k
+	perNode := 2 * sigmaK                       // output bit × out-labels... (2|Σ|^k)
+	return 2 * float64(n) * sigmaK * math.Log2(perNode)
+}

@@ -1,0 +1,204 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/protocols"
+	"stateless/internal/sim"
+)
+
+func TestEqualityFoolingSet(t *testing.T) {
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		s, err := EqualityFoolingSet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() != 1<<uint(n/2-1) {
+			t.Errorf("n=%d: size %d, want 2^{n/2-1}", n, s.Size())
+		}
+		if err := s.Verify(EqualityFn, n); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+	if _, err := EqualityFoolingSet(5); err == nil {
+		t.Error("odd n should fail")
+	}
+}
+
+func TestMajorityFoolingSet(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6, 7, 10, 11} {
+		s, err := MajorityFoolingSet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() != n/2 {
+			t.Errorf("n=%d: size %d, want ⌊n/2⌋", n, s.Size())
+		}
+		if err := s.Verify(MajorityFn, n); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+	if _, err := MajorityFoolingSet(2); err == nil {
+		t.Error("n=2 should fail")
+	}
+}
+
+func TestVerifyCatchesNonFooling(t *testing.T) {
+	// {(01),(11)} with value OR=1 is not fooling: both crossovers are 1.
+	s := &FoolingSet{
+		M:     1,
+		Value: 1,
+		Pairs: []Pair{
+			{X: core.Input{0}, Y: core.Input{1}},
+			{X: core.Input{1}, Y: core.Input{1}},
+		},
+	}
+	or := func(x core.Input) core.Bit { return x[0] | x[1] }
+	if err := s.Verify(or, 2); err == nil {
+		t.Error("Verify should reject a non-fooling set")
+	}
+}
+
+func TestVerifyCatchesWrongValue(t *testing.T) {
+	s := &FoolingSet{M: 1, Value: 0, Pairs: []Pair{{X: core.Input{1}, Y: core.Input{1}}}}
+	and := func(x core.Input) core.Bit { return x[0] & x[1] }
+	if err := s.Verify(and, 2); err == nil {
+		t.Error("Verify should reject wrong function value")
+	}
+}
+
+func TestRingCutIsFourEdges(t *testing.T) {
+	for _, n := range []int{4, 6, 8, 10} {
+		g := graph.BidirectionalRing(n)
+		cut := CutOf(g, n/2)
+		if len(cut.C) != 2 || len(cut.D) != 2 {
+			t.Errorf("n=%d: cut (|C|,|D|) = (%d,%d), want (2,2)", n, len(cut.C), len(cut.D))
+		}
+	}
+}
+
+func TestCorollary63Bound(t *testing.T) {
+	// Every label-stabilizing protocol for EQ_n on the bidirectional ring
+	// needs at least (n-2)/8 label bits.
+	for _, n := range []int{4, 8, 12, 16} {
+		s, err := EqualityFoolingSet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.BidirectionalRing(n)
+		bound, err := Bound(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(n-2) / 8
+		if math.Abs(bound-want) > 1e-9 {
+			t.Errorf("n=%d: bound %.4f, want (n-2)/8 = %.4f", n, bound, want)
+		}
+	}
+}
+
+func TestCorollary64Bound(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		s, err := MajorityFoolingSet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.BidirectionalRing(n)
+		bound, err := Bound(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Log2(float64(n/2)) / 4
+		if math.Abs(bound-want) > 1e-9 {
+			t.Errorf("n=%d: bound %.4f, want log(n/2)/4 = %.4f", n, bound, want)
+		}
+	}
+}
+
+// TestTheorem62InjectionEmpirically checks the heart of the Theorem 6.2
+// proof on a real protocol: run a label-stabilizing protocol computing EQ
+// (Proposition 2.3's tree protocol) on each fooling-set input; the stable
+// labelings restricted to the cut edges must be pairwise distinct.
+func TestTheorem62InjectionEmpirically(t *testing.T) {
+	n := 6
+	g := graph.BidirectionalRing(n)
+	p, err := protocols.TreeProtocol(g, protocols.BoolFunc(EqualityFn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := EqualityFoolingSet(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := CutOf(g, s.M)
+	cutEdges := append(append([]graph.EdgeID(nil), cut.C...), cut.D...)
+	seen := make(map[string]int)
+	for i, pair := range s.Pairs {
+		res, err := sim.RunSynchronous(p, pair.Join(), core.UniformLabeling(g, 0), 10*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != sim.LabelStable {
+			t.Fatalf("pair %d: %v, want label-stable", i, res.Status)
+		}
+		key := ""
+		for _, id := range cutEdges {
+			key += string(rune(res.Final.Labels[id])) + "|"
+		}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("pairs %d and %d share cut labeling — injection violated", prev, i)
+		}
+		seen[key] = i
+	}
+	// Cross-check the bound is respected by the protocol we just ran:
+	// L_n = n+1 ≥ (n-2)/8.
+	bound, err := Bound(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(p.LabelBits()) < bound {
+		t.Errorf("protocol label bits %d below fooling-set bound %.3f — impossible", p.LabelBits(), bound)
+	}
+}
+
+func TestCountingBound(t *testing.T) {
+	if CountingBound(16, 2) != 2.0 {
+		t.Errorf("CountingBound(16,2) = %v, want 2", CountingBound(16, 2))
+	}
+	if !math.IsInf(CountingBound(5, 0), 1) {
+		t.Error("degree 0 should give +Inf")
+	}
+	// The counting argument itself: with L < n/(4k) bits the number of
+	// protocols is below the number of Boolean functions (2^{2^n}).
+	n, k := 16, 2
+	lowBits := int(CountingBound(n, k)) - 1
+	if ProtocolCountBits(n, k, lowBits) >= math.Pow(2, float64(n)) {
+		t.Errorf("protocol count with %d bits should be below 2^{2^n}", lowBits)
+	}
+}
+
+func TestBoundValidation(t *testing.T) {
+	g := graph.BidirectionalRing(4)
+	if _, err := Bound(g, &FoolingSet{M: 2}); err == nil {
+		t.Error("empty set should fail")
+	}
+	if err := (&FoolingSet{M: 1}).Verify(EqualityFn, 2); err == nil {
+		t.Error("empty set should fail Verify")
+	}
+	// Mismatched pair shape.
+	s := &FoolingSet{M: 2, Value: 1, Pairs: []Pair{{X: core.Input{1}, Y: core.Input{1}}}}
+	if err := s.Verify(EqualityFn, 2); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestPairJoin(t *testing.T) {
+	p := Pair{X: core.Input{1, 0}, Y: core.Input{1, 1}}
+	j := p.Join()
+	if j.String() != "1011" {
+		t.Errorf("Join = %s, want 1011", j)
+	}
+}

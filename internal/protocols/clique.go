@@ -1,0 +1,65 @@
+// Package protocols implements the concrete stateless protocols that appear
+// in the paper: the Example 1 clique protocol (tightness of Theorem 3.1),
+// the generic tree-based protocol of Proposition 2.3 (any Boolean function,
+// L_n = n+1, R_n = 2n), and the slow unidirectional-ring protocol of
+// Lemma C.2(2) (round complexity exactly n(|Σ|−1)).
+package protocols
+
+import (
+	"errors"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// Example1Clique returns the protocol of Example 1 (Section 3) on K_n with
+// Σ = {0,1}: node i emits 0 on all outgoing edges iff every incoming edge
+// is labeled 0, otherwise 1 on all outgoing edges. (Outputs mirror the
+// emitted bit; the example ignores inputs and outputs.)
+//
+// It has exactly two stable labelings (all-0 and all-1), so by Theorem 3.1
+// it is not label (n−1)-stabilizing; Example 1 argues it *is* label
+// r-stabilizing for every r < n−1, witnessing tightness.
+func Example1Clique(n int) (*core.Protocol, error) {
+	if n < 2 {
+		return nil, errors.New("protocols: Example 1 needs n ≥ 2")
+	}
+	g := graph.Clique(n)
+	return core.NewUniformProtocol(g, core.BinarySpace(),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			var any core.Label
+			for _, l := range in {
+				any |= l
+			}
+			for i := range out {
+				out[i] = any
+			}
+			return core.Bit(any)
+		})
+}
+
+// Example1OscillationSchedule returns the adversarial (n−1)-fair schedule
+// under which Example 1's protocol oscillates forever when started from the
+// labeling where exactly node 0's outgoing edges are labeled 1: at each
+// step t, activate the node whose edges are currently all-1 (it will turn
+// 0) together with the next node in cyclic order (which sees the 1 and
+// turns 1). Formally the script activates {i, i+1 mod n} at phase i. Each
+// node is activated twice every n steps, with a maximal gap of n−1 steps,
+// so the schedule is (n−1)-fair but not (n−2)-fair.
+func Example1OscillationSchedule(n int) [][]graph.NodeID {
+	steps := make([][]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		steps[i] = []graph.NodeID{graph.NodeID(i), graph.NodeID((i + 1) % n)}
+	}
+	return steps
+}
+
+// Example1OscillationStart returns the initial labeling for the
+// oscillation: node 0's outgoing edges all 1, everything else 0.
+func Example1OscillationStart(g *graph.Graph) core.Labeling {
+	l := core.UniformLabeling(g, 0)
+	for _, id := range g.Out(0) {
+		l[id] = 1
+	}
+	return l
+}

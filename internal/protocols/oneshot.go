@@ -1,0 +1,95 @@
+package protocols
+
+import (
+	"errors"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// The opening observation of Section 5: on highly connected topologies,
+// stateless computation is trivially powerful — "every Boolean function
+// can be computed using a 1-bit label and within one round" on the clique,
+// and similarly on the star. These constructions make the observation
+// executable and measurable, motivating the paper's focus on poorly
+// connected topologies (rings).
+
+// CliqueOneShot computes f on K_n with Σ = {0,1}: every node broadcasts
+// its input bit; a node that sees all neighbors' bits evaluates f on the
+// full input directly. Labels stabilize after the first activation of
+// each node and outputs are correct from each node's second activation —
+// round complexity 2 under the synchronous schedule, with 1-bit labels
+// (the output value needs one extra round to reflect the final labels;
+// the labels themselves stabilize in one round, which is the claim's
+// content).
+func CliqueOneShot(n int, f BoolFunc) (*core.Protocol, error) {
+	if n < 2 {
+		return nil, errors.New("protocols: CliqueOneShot needs n ≥ 2")
+	}
+	if f == nil {
+		return nil, errors.New("protocols: nil function")
+	}
+	g := graph.Clique(n)
+	reactions := make([]core.Reaction, n)
+	for i := 0; i < n; i++ {
+		i := i
+		reactions[i] = func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			// Reconstruct the global input: in is ordered by source node
+			// (canonical clique order skips self).
+			x := make(core.Input, n)
+			x[i] = input
+			for k, l := range in {
+				src := k
+				if k >= i {
+					src = k + 1
+				}
+				x[src] = core.Bit(l & 1)
+			}
+			for k := range out {
+				out[k] = core.Label(input)
+			}
+			return f(x)
+		}
+	}
+	return core.NewProtocol(g, core.BinarySpace(), reactions)
+}
+
+// StarOneShot computes f on the bidirectional star with center 0: leaves
+// broadcast their input bits; the center evaluates f and broadcasts the
+// result bit, which leaves adopt. Labels stabilize within 2 rounds and
+// every output is correct from round 3, still with 1-bit labels.
+func StarOneShot(n int, f BoolFunc) (*core.Protocol, error) {
+	if n < 2 {
+		return nil, errors.New("protocols: StarOneShot needs n ≥ 2")
+	}
+	if f == nil {
+		return nil, errors.New("protocols: nil function")
+	}
+	g := graph.Star(n)
+	reactions := make([]core.Reaction, n)
+	reactions[0] = func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+		x := make(core.Input, n)
+		x[0] = input
+		// Center's incoming edges are ordered by leaf ID 1..n-1.
+		for k, l := range in {
+			x[k+1] = core.Bit(l & 1)
+		}
+		y := f(x)
+		for k := range out {
+			out[k] = core.Label(y)
+		}
+		return y
+	}
+	for i := 1; i < n; i++ {
+		reactions[i] = func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			// in[0] is the center's broadcast (the computed f value); the
+			// leaf forwards its own input upward and adopts the center's
+			// bit as output.
+			for k := range out {
+				out[k] = core.Label(input)
+			}
+			return core.Bit(in[0] & 1)
+		}
+	}
+	return core.NewProtocol(g, core.BinarySpace(), reactions)
+}

@@ -1,0 +1,127 @@
+package protocols
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/sim"
+)
+
+func TestCliqueOneShotComputesEverything(t *testing.T) {
+	// §5 opening observation: any f, 1-bit labels, constant rounds.
+	for n := 2; n <= 5; n++ {
+		rng := rand.New(rand.NewPCG(uint64(n), 123))
+		// A random Boolean function, tabulated.
+		truth := make([]core.Bit, 1<<uint(n))
+		for i := range truth {
+			truth[i] = core.Bit(rng.IntN(2))
+		}
+		f := func(x core.Input) core.Bit { return truth[x.Uint()] }
+		p, err := CliqueOneShot(n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.LabelBits() != 1 {
+			t.Fatalf("n=%d: label bits %d, want 1", n, p.LabelBits())
+		}
+		g := p.Graph()
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			x := core.InputFromUint(v, n)
+			res, err := sim.RunSynchronous(p, x, core.UniformLabeling(g, 0), 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != sim.LabelStable {
+				t.Fatalf("n=%d input %s: %v", n, x, res.Status)
+			}
+			if res.StabilizedAt > 2 {
+				t.Errorf("n=%d: stabilized at %d, want ≤ 2 rounds", n, res.StabilizedAt)
+			}
+			for node, y := range res.Outputs {
+				if y != f(x) {
+					t.Fatalf("n=%d input %s node %d: output %d, want %d", n, x, node, y, f(x))
+				}
+			}
+		}
+	}
+}
+
+func TestCliqueOneShotSelfStabilizes(t *testing.T) {
+	f := func(x core.Input) core.Bit { return x[0] ^ x[1] ^ x[2] }
+	p, err := CliqueOneShot(3, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph()
+	rng := rand.New(rand.NewPCG(11, 22))
+	for trial := 0; trial < 20; trial++ {
+		x := core.InputFromUint(rng.Uint64N(8), 3)
+		l0 := core.RandomLabeling(g, p.Space(), rng)
+		res, err := sim.RunSynchronous(p, x, l0, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != sim.LabelStable {
+			t.Fatalf("%v", res.Status)
+		}
+		for _, y := range res.Outputs {
+			if y != f(x) {
+				t.Fatal("wrong output from corrupted start")
+			}
+		}
+	}
+}
+
+func TestStarOneShot(t *testing.T) {
+	maj := func(x core.Input) core.Bit {
+		cnt := 0
+		for _, b := range x {
+			cnt += int(b)
+		}
+		return core.BitOf(2*cnt >= len(x))
+	}
+	for n := 2; n <= 6; n++ {
+		p, err := StarOneShot(n, maj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.LabelBits() != 1 {
+			t.Fatalf("n=%d: label bits %d, want 1", n, p.LabelBits())
+		}
+		g := p.Graph()
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			x := core.InputFromUint(v, n)
+			res, err := sim.RunSynchronous(p, x, core.UniformLabeling(g, 0), 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != sim.LabelStable {
+				t.Fatalf("n=%d input %s: %v", n, x, res.Status)
+			}
+			if res.StabilizedAt > 2 {
+				t.Errorf("n=%d: labels stabilized at %d, want ≤ 2", n, res.StabilizedAt)
+			}
+			for node, y := range res.Outputs {
+				if y != maj(x) {
+					t.Fatalf("n=%d input %s node %d: output %d, want %d", n, x, node, y, maj(x))
+				}
+			}
+		}
+	}
+}
+
+func TestOneShotValidation(t *testing.T) {
+	if _, err := CliqueOneShot(1, nil); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := CliqueOneShot(3, nil); err == nil {
+		t.Error("nil f should fail")
+	}
+	if _, err := StarOneShot(1, nil); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := StarOneShot(3, nil); err == nil {
+		t.Error("nil f should fail")
+	}
+}

@@ -1,0 +1,153 @@
+package protocols
+
+import (
+	"errors"
+	"fmt"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// BoolFunc is a Boolean function f : {0,1}^n → {0,1} on the global input.
+type BoolFunc func(core.Input) core.Bit
+
+// TreeProtocol implements Proposition 2.3: for any strongly connected
+// directed graph G and any Boolean function f there is a label-stabilizing
+// protocol with L_n = n+1 and R_n ≤ 2n.
+//
+// Labels are pairs (z, b) with z ∈ {0,1}^n and b ∈ {0,1}, packed as
+// z | b<<n (so n ≤ 62). Two BFS spanning trees rooted at node 0 are used:
+// T2 (paths v→root) aggregates each node's input upward via coordinate-wise
+// OR — node i contributes w_i, the vector that is x_i at coordinate i and 0
+// elsewhere — and T1 (paths root→v) broadcasts f(x) downward in the b bit.
+//
+// Self-stabilization: any garbage in the z components is flushed level by
+// level (leaves of T2 emit exactly w_i as soon as they are activated), so
+// within n synchronous rounds the root sees exactly x; within n more, the
+// broadcast bit reaches every node and the labeling is a global fixed point.
+func TreeProtocol(g *graph.Graph, f BoolFunc) (*core.Protocol, error) {
+	n := g.N()
+	if n > 62 {
+		return nil, errors.New("protocols: TreeProtocol supports n ≤ 62")
+	}
+	if f == nil {
+		return nil, errors.New("protocols: nil function")
+	}
+	t1, err := g.OutTree(0)
+	if err != nil {
+		return nil, fmt.Errorf("protocols: T1: %w", err)
+	}
+	t2, err := g.InTree(0)
+	if err != nil {
+		return nil, fmt.Errorf("protocols: T2: %w", err)
+	}
+	space := core.MustLabelSpace(1 << uint(n+1))
+
+	zMask := core.Label(1<<uint(n)) - 1
+	bBit := core.Label(1) << uint(n)
+
+	// c2Set[i][k] = true if the k-th incoming neighbor of i (canonical In
+	// order) is a child of i in T2, i.e. it sends its aggregate to i.
+	c2In := make([][]bool, n)
+	// inT1Child[i][k] = true if the k-th outgoing neighbor of i is a child
+	// of i in T1 (i broadcasts to it).
+	c1Out := make([][]bool, n)
+	// p2Out[i] = index within Out(i) of the edge toward i's parent in T2
+	// (-1 for the root).
+	p2Out := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := graph.NodeID(i)
+		c2In[i] = make([]bool, g.InDegree(v))
+		for k, id := range g.In(v) {
+			src := g.Edge(id).From
+			if t2.Parent[src] == v {
+				c2In[i][k] = true
+			}
+		}
+		c1Out[i] = make([]bool, g.OutDegree(v))
+		p2Out[i] = -1
+		for k, id := range g.Out(v) {
+			dst := g.Edge(id).To
+			if t1.Parent[dst] == v {
+				c1Out[i][k] = true
+			}
+			if i != 0 && t2.Parent[v] == dst {
+				p2Out[i] = k
+			}
+		}
+		if i != 0 && p2Out[i] == -1 {
+			return nil, fmt.Errorf("protocols: node %d missing T2 parent edge", i)
+		}
+	}
+	// p1In[i] = index within In(i) of the edge from i's parent in T1.
+	p1In := make([]int, n)
+	for i := 1; i < n; i++ {
+		p1In[i] = -1
+		for k, id := range g.In(graph.NodeID(i)) {
+			if g.Edge(id).From == t1.Parent[i] {
+				p1In[i] = k
+			}
+		}
+		if p1In[i] == -1 {
+			return nil, fmt.Errorf("protocols: node %d missing T1 parent edge", i)
+		}
+	}
+
+	reactions := make([]core.Reaction, n)
+	for i := 0; i < n; i++ {
+		i := i
+		if i == 0 {
+			reactions[0] = func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+				agg := core.Label(input) // w_0 at coordinate 0
+				for k, l := range in {
+					if c2In[0][k] {
+						agg |= l & zMask
+					}
+				}
+				y := f(vecToInput(agg, n))
+				for k := range out {
+					if c1Out[0][k] {
+						out[k] = core.Label(y) * bBit
+					} else {
+						out[k] = 0
+					}
+				}
+				return y
+			}
+			continue
+		}
+		reactions[i] = func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			agg := core.Label(input) << uint(i) // w_i
+			for k, l := range in {
+				if c2In[i][k] {
+					agg |= l & zMask
+				}
+			}
+			b := (in[p1In[i]] & bBit) / bBit
+			y := core.Bit(b)
+			for k := range out {
+				switch {
+				case k == p2Out[i] && c1Out[i][k]:
+					out[k] = agg | b*bBit
+				case c1Out[i][k]:
+					out[k] = b * bBit
+				case k == p2Out[i]:
+					out[k] = agg
+				default:
+					out[k] = 0
+				}
+			}
+			return y
+		}
+	}
+	return core.NewProtocol(g, space, reactions)
+}
+
+// vecToInput unpacks the low n bits of z into an Input vector.
+func vecToInput(z core.Label, n int) core.Input {
+	x := make(core.Input, n)
+	for i := 0; i < n; i++ {
+		x[i] = core.Bit((z >> uint(i)) & 1)
+	}
+	return x
+}

@@ -1,0 +1,56 @@
+package protocols
+
+import (
+	"errors"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// SlowUnidirectional implements the protocol of Lemma C.2(2): on the
+// unidirectional n-ring with Σ = {0..q-1}, round complexity exactly
+// n·(q−1) when started from the all-zero labeling — witnessing that the
+// general bound R_n ≤ n·|Σ| of Lemma C.2(1) is tight up to the factor
+// q/(q−1).
+//
+// Node 0 increments the circulating value once per lap (saturating at
+// q−1); every other node forwards it. All outputs flip to 1 exactly when
+// the saturated value has reached every node.
+func SlowUnidirectional(n int, q uint64) (*core.Protocol, error) {
+	if n < 2 {
+		return nil, errors.New("protocols: ring needs n ≥ 2")
+	}
+	if q < 2 {
+		return nil, errors.New("protocols: need q ≥ 2")
+	}
+	g := graph.Ring(n)
+	space := core.MustLabelSpace(q)
+	top := core.Label(q - 1)
+	reactions := make([]core.Reaction, n)
+	reactions[0] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+		if in[0] == top {
+			out[0] = top
+			return 1
+		}
+		out[0] = in[0] + 1
+		return 0
+	}
+	for i := 1; i < n; i++ {
+		reactions[i] = func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			if in[0] == top {
+				out[0] = top
+				return 1
+			}
+			out[0] = in[0]
+			return 0
+		}
+	}
+	return core.NewProtocol(g, space, reactions)
+}
+
+// UnidirectionalRoundBound returns the Lemma C.2(1) upper bound n·|Σ| on
+// the synchronous round complexity of any output-stabilizing protocol on
+// the unidirectional n-ring.
+func UnidirectionalRoundBound(n int, sigma uint64) uint64 {
+	return uint64(n) * sigma
+}

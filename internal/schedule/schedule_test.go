@@ -1,0 +1,175 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stateless/internal/graph"
+)
+
+func collect(s Schedule, steps int) [][]graph.NodeID {
+	out := make([][]graph.NodeID, steps)
+	for t := 1; t <= steps; t++ {
+		out[t-1] = s.Activated(t, nil)
+	}
+	return out
+}
+
+func TestSynchronous(t *testing.T) {
+	s := Synchronous{N: 4}
+	for _, step := range collect(s, 5) {
+		if len(step) != 4 {
+			t.Fatalf("synchronous step has %d nodes, want 4", len(step))
+		}
+	}
+	// Synchronous is 1-fair.
+	a := NewAuditor(4, 1)
+	for _, step := range collect(s, 10) {
+		if err := a.Observe(step); err != nil {
+			t.Fatalf("synchronous schedule not 1-fair: %v", err)
+		}
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	s := RoundRobin{N: 3}
+	steps := collect(s, 6)
+	want := []graph.NodeID{0, 1, 2, 0, 1, 2}
+	for i, step := range steps {
+		if len(step) != 1 || step[0] != want[i] {
+			t.Fatalf("step %d = %v, want [%d]", i+1, step, want[i])
+		}
+	}
+	// Round robin on n nodes is n-fair but not (n-1)-fair.
+	a := NewAuditor(3, 3)
+	for _, step := range steps {
+		if err := a.Observe(step); err != nil {
+			t.Fatalf("round robin should be 3-fair: %v", err)
+		}
+	}
+	a2 := NewAuditor(3, 2)
+	var violated bool
+	for _, step := range steps {
+		if err := a2.Observe(step); err != nil {
+			violated = true
+			break
+		}
+	}
+	if !violated {
+		t.Error("round robin on 3 nodes must violate 2-fairness")
+	}
+}
+
+func TestScripted(t *testing.T) {
+	if _, err := NewScripted(nil); err == nil {
+		t.Error("empty script should fail")
+	}
+	if _, err := NewScripted([][]graph.NodeID{{0}, {}}); err == nil {
+		t.Error("empty activation set should fail")
+	}
+	s, err := NewScripted([][]graph.NodeID{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := collect(s, 4)
+	if len(steps[0]) != 2 || len(steps[1]) != 1 || len(steps[2]) != 2 {
+		t.Errorf("script should repeat cyclically: %v", steps)
+	}
+}
+
+func TestRandomRFairValidation(t *testing.T) {
+	if _, err := NewRandomRFair(0, 1, 0.5, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewRandomRFair(3, 0, 0.5, 1); err == nil {
+		t.Error("r=0 should fail")
+	}
+	if _, err := NewRandomRFair(3, 2, 1.5, 1); err == nil {
+		t.Error("p>1 should fail")
+	}
+}
+
+func TestRandomRFairIsRFair(t *testing.T) {
+	// Property: for any seed, n, r, the generated schedule passes the
+	// r-fairness audit over a long horizon.
+	f := func(seed uint64, nRaw, rRaw, pRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		r := 1 + int(rRaw%6)
+		p := float64(pRaw%90) / 100
+		s, err := NewRandomRFair(n, r, p, seed)
+		if err != nil {
+			return false
+		}
+		a := NewAuditor(n, r)
+		var buf []graph.NodeID
+		for t := 1; t <= 200; t++ {
+			buf = s.Activated(t, buf[:0])
+			if len(buf) == 0 {
+				return false
+			}
+			if err := a.Observe(buf); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomRFairDeterministic(t *testing.T) {
+	mk := func() [][]graph.NodeID {
+		s, _ := NewRandomRFair(5, 3, 0.4, 42)
+		return collect(s, 50)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("step %d: nondeterministic schedule", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("step %d: nondeterministic schedule", i)
+			}
+		}
+	}
+}
+
+func TestRandomRFairOutOfOrderPanics(t *testing.T) {
+	s, _ := NewRandomRFair(3, 2, 0.5, 1)
+	s.Activated(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order query should panic")
+		}
+	}()
+	s.Activated(5, nil)
+}
+
+func TestAuditorMaxIdle(t *testing.T) {
+	a := NewAuditor(3, 10)
+	steps := [][]graph.NodeID{{0}, {0}, {0, 1, 2}}
+	for _, s := range steps {
+		if err := a.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.MaxIdle() != 0 {
+		t.Errorf("MaxIdle = %d, want 0 after full activation", a.MaxIdle())
+	}
+	_ = a.Observe([]graph.NodeID{0})
+	if a.MaxIdle() != 1 {
+		t.Errorf("MaxIdle = %d, want 1", a.MaxIdle())
+	}
+}
+
+func TestAuditorViolation(t *testing.T) {
+	a := NewAuditor(2, 2)
+	if err := a.Observe([]graph.NodeID{0}); err != nil {
+		t.Fatalf("first idle step should pass: %v", err)
+	}
+	if err := a.Observe([]graph.NodeID{0}); err == nil {
+		t.Error("node 1 idle for 2 steps must violate 2-fairness")
+	}
+}

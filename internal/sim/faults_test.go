@@ -1,0 +1,251 @@
+package sim_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/bp"
+	"stateless/internal/circuit"
+	"stateless/internal/core"
+	"stateless/internal/counter"
+	"stateless/internal/graph"
+	"stateless/internal/protocols"
+	"stateless/internal/schedule"
+	"stateless/internal/sim"
+)
+
+// Failure-injection suite: self-stabilization (§2.2) promises recovery
+// from any transient fault that corrupts edge labels while code and
+// inputs stay intact. These tests run protocols to convergence, smash a
+// random subset of labels mid-flight, and demand re-convergence to the
+// same verdict — repeatedly.
+
+// corrupt flips `count` randomly chosen labels to random values in Σ.
+func corrupt(l core.Labeling, space core.LabelSpace, count int, rng *rand.Rand) core.Labeling {
+	out := l.Clone()
+	for k := 0; k < count; k++ {
+		out[rng.IntN(len(out))] = core.Label(rng.Uint64N(space.Size()))
+	}
+	return out
+}
+
+func TestTreeProtocolSurvivesRepeatedFaults(t *testing.T) {
+	g := graph.BidirectionalRing(6)
+	maj := func(x core.Input) core.Bit {
+		cnt := 0
+		for _, b := range x {
+			cnt += int(b)
+		}
+		return core.BitOf(2*cnt >= len(x))
+	}
+	p, err := protocols.TreeProtocol(g, maj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2026, 6))
+	x := core.Input{1, 0, 1, 1, 0, 0}
+	want := maj(x)
+	labels := core.UniformLabeling(g, 0)
+	for epoch := 0; epoch < 25; epoch++ {
+		res, err := sim.RunSynchronous(p, x, labels, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != sim.LabelStable {
+			t.Fatalf("epoch %d: %v", epoch, res.Status)
+		}
+		for _, y := range res.Outputs {
+			if y != want {
+				t.Fatalf("epoch %d: wrong output after recovery", epoch)
+			}
+		}
+		// Inject: corrupt 1..all labels.
+		labels = corrupt(res.Final.Labels, p.Space(), 1+rng.IntN(g.M()), rng)
+	}
+}
+
+func TestTreeProtocolFaultDuringAsynchronousRun(t *testing.T) {
+	// Corruption arriving *between* activations of an r-fair schedule —
+	// the model's actual adversary.
+	g := graph.Clique(5)
+	xor := func(x core.Input) core.Bit {
+		var v core.Bit
+		for _, b := range x {
+			v ^= b
+		}
+		return v
+	}
+	p, err := protocols.TreeProtocol(g, xor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 77))
+	x := core.Input{1, 1, 0, 1, 0}
+	labels := core.RandomLabeling(g, p.Space(), rng)
+	for epoch := 0; epoch < 10; epoch++ {
+		sched, err := schedule.NewRandomRFair(5, 4, 0.3, uint64(epoch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(p, x, labels, sched, sim.Options{MaxSteps: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != sim.LabelStable {
+			t.Fatalf("epoch %d: %v", epoch, res.Status)
+		}
+		for _, y := range res.Outputs {
+			if y != xor(x) {
+				t.Fatalf("epoch %d: wrong output", epoch)
+			}
+		}
+		labels = corrupt(res.Final.Labels, p.Space(), 3, rng)
+	}
+}
+
+func TestDCounterSurvivesFaultBursts(t *testing.T) {
+	dc, err := counter.NewDCounter(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dc.Protocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph()
+	rng := rand.New(rand.NewPCG(5, 55))
+	x := make(core.Input, 7)
+	labels := core.RandomLabeling(g, p.Space(), rng)
+	all := make([]graph.NodeID, 7)
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	for epoch := 0; epoch < 8; epoch++ {
+		cur := core.NewConfig(g, labels)
+		next := cur.Clone()
+		for k := 0; k < dc.StabilizationBound(); k++ {
+			core.Step(p, x, cur, &next, all)
+			cur, next = next, cur
+		}
+		// Verify agreement and ticking over 2n rounds.
+		var prev uint64
+		for round := 0; round < 14; round++ {
+			core.Step(p, x, cur, &next, all)
+			cur, next = next, cur
+			var val uint64
+			for i, lab := range cur.Labels {
+				f := dc.Unpack(lab)
+				if i == 0 {
+					val = f.C
+				} else if f.C != val {
+					t.Fatalf("epoch %d round %d: disagreement after fault recovery", epoch, round)
+				}
+			}
+			if round > 0 && val != (prev+1)%12 {
+				t.Fatalf("epoch %d: counter not ticking after recovery", epoch)
+			}
+			prev = val
+		}
+		labels = corrupt(cur.Labels, p.Space(), 1+rng.IntN(g.M()), rng)
+	}
+}
+
+func TestBPRingSurvivesFaults(t *testing.T) {
+	prog, err := bp.Majority(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := bp.CompileToRing(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rp.Protocol()
+	g := p.Graph()
+	rng := rand.New(rand.NewPCG(9, 19))
+	x := core.Input{1, 1, 0, 1, 0}
+	want := prog.MustEval(x)
+	labels := core.UniformLabeling(g, 0)
+	all := make([]graph.NodeID, g.N())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	for epoch := 0; epoch < 6; epoch++ {
+		cur := core.NewConfig(g, labels)
+		next := cur.Clone()
+		for k := 0; k < rp.SettleBound(); k++ {
+			core.Step(p, x, cur, &next, all)
+			cur, next = next, cur
+		}
+		for _, y := range cur.Outputs {
+			if y != want {
+				t.Fatalf("epoch %d: output %d, want %d after recovery", epoch, y, want)
+			}
+		}
+		labels = corrupt(cur.Labels, p.Space(), 1+rng.IntN(g.M()), rng)
+	}
+}
+
+func TestCircuitRingSurvivesFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-epoch settle; skip in -short")
+	}
+	c, err := circuit.Parity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := circuit.CompileToRing(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rp.Protocol()
+	g := p.Graph()
+	rng := rand.New(rand.NewPCG(4, 44))
+	x := core.Input{1, 1, 0}
+	full, err := rp.Inputs(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Eval(x)
+	labels := core.UniformLabeling(g, 0)
+	all := make([]graph.NodeID, g.N())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	for epoch := 0; epoch < 4; epoch++ {
+		cur := core.NewConfig(g, labels)
+		next := cur.Clone()
+		for k := 0; k < rp.SettleBound(); k++ {
+			core.Step(p, full, cur, &next, all)
+			cur, next = next, cur
+		}
+		for _, y := range cur.Outputs {
+			if y != want {
+				t.Fatalf("epoch %d: wrong output after recovery", epoch)
+			}
+		}
+		labels = corrupt(cur.Labels, p.Space(), g.M()/2, rng)
+	}
+}
+
+// TestProposition22Bound sanity-checks R_n ≤ |Σ|^{|E|} (Proposition 2.2):
+// stabilization (when it happens) is always observed within the number of
+// possible configurations.
+func TestProposition22Bound(t *testing.T) {
+	g := graph.Ring(3)
+	p, err := protocols.SlowUnidirectional(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	res, err := sim.RunSynchronous(p, make(core.Input, 3), core.UniformLabeling(p.Graph(), 0), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1
+	for i := 0; i < p.Graph().M(); i++ {
+		bound *= int(p.Space().Size())
+	}
+	if res.Status != sim.LabelStable || res.StabilizedAt > bound {
+		t.Errorf("stabilized at %d, Proposition 2.2 bound %d", res.StabilizedAt, bound)
+	}
+}

@@ -1,0 +1,262 @@
+// Package sim executes stateless protocols under a schedule and detects
+// stabilization. It distinguishes the paper's two legitimacy notions
+// (§2.2): label stabilization (the labeling sequence reaches a fixed point
+// of every reaction function) and output stabilization (every node's
+// output sequence converges, while labels may keep changing — e.g. the
+// D-counter keeps counting forever underneath a stable output).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/schedule"
+)
+
+// Status classifies the end state of a run.
+type Status int
+
+// Run outcomes.
+const (
+	// LabelStable: the labeling reached a fixed point of every reaction.
+	LabelStable Status = iota + 1
+	// OutputStable: the labeling entered a cycle on which every node's
+	// output is constant (detected exactly under deterministic schedules
+	// via configuration-cycle detection).
+	OutputStable
+	// Oscillating: the labeling entered a cycle on which some output (or
+	// the labels, when only label stabilization is demanded) keeps
+	// changing.
+	Oscillating
+	// Exhausted: MaxSteps elapsed without a verdict (cycle detection
+	// disabled or cycle longer than the horizon).
+	Exhausted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case LabelStable:
+		return "label-stable"
+	case OutputStable:
+		return "output-stable"
+	case Oscillating:
+		return "oscillating"
+	case Exhausted:
+		return "exhausted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps bounds the number of time steps (0 means DefaultMaxSteps).
+	MaxSteps int
+	// DetectCycles enables configuration-cycle detection by hashing
+	// labelings. Sound only when the schedule is deterministic and
+	// position-periodic (Synchronous, RoundRobin, Scripted); the runner
+	// folds the schedule phase into the cycle key.
+	DetectCycles bool
+	// CyclePeriod is the schedule period used to fold phase into the cycle
+	// key; 0 means 1 (synchronous).
+	CyclePeriod int
+	// Trace, when non-nil, receives each configuration after each step.
+	Trace func(t int, cfg core.Config)
+}
+
+// DefaultMaxSteps is the step bound when Options.MaxSteps is zero.
+const DefaultMaxSteps = 1 << 20
+
+// Result reports how a run ended.
+type Result struct {
+	Status Status
+	// Steps is the number of time steps executed.
+	Steps int
+	// StabilizedAt is the first step after which the labeling never
+	// changed again (label stabilization) or after which all outputs were
+	// constant (output stabilization); -1 when not stabilized.
+	StabilizedAt int
+	// CycleLen is the detected configuration-cycle length (0 if none).
+	CycleLen int
+	// Final is the last configuration.
+	Final core.Config
+	// Outputs are the node outputs at the end of the run. For
+	// OutputStable runs these are the converged outputs.
+	Outputs []core.Bit
+}
+
+// ErrBadInput is returned when the input vector length mismatches the graph.
+var ErrBadInput = errors.New("sim: input length must equal node count")
+
+// Run executes protocol p on input x from initial labeling l0 under sched.
+func Run(p *core.Protocol, x core.Input, l0 core.Labeling, sched schedule.Schedule, opts Options) (Result, error) {
+	g := p.Graph()
+	if len(x) != g.N() {
+		return Result{}, fmt.Errorf("%w: got %d want %d", ErrBadInput, len(x), g.N())
+	}
+	if len(l0) != g.M() {
+		return Result{}, fmt.Errorf("sim: labeling length %d, want %d edges", len(l0), g.M())
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	period := opts.CyclePeriod
+	if period <= 0 {
+		period = 1
+	}
+
+	cur := core.NewConfig(g, l0)
+	next := cur.Clone()
+	var seen map[string]int
+	if opts.DetectCycles {
+		seen = make(map[string]int)
+	}
+	active := make([]graph.NodeID, 0, g.N())
+	lastLabelChange := 0
+
+	for t := 1; t <= maxSteps; t++ {
+		active = sched.Activated(t, active[:0])
+		changed := core.Step(p, x, cur, &next, active)
+		cur, next = next, cur
+		if opts.Trace != nil {
+			opts.Trace(t, cur)
+		}
+		if changed {
+			lastLabelChange = t
+		}
+		// Label stabilization: check global fixed point (not just "this
+		// step's activations changed nothing": inactive nodes might still
+		// want to move).
+		if !changed && core.IsStable(p, x, cur.Labels) {
+			return Result{
+				Status:       LabelStable,
+				Steps:        t,
+				StabilizedAt: lastLabelChange,
+				Final:        cur.Clone(),
+				Outputs:      core.StableOutputs(p, x, cur.Labels),
+			}, nil
+		}
+		if opts.DetectCycles && t%period == 0 {
+			key := cur.Labels.Key()
+			if prev, ok := seen[key]; ok {
+				return classifyCycle(p, x, cur, sched, t, prev, period)
+			}
+			seen[key] = t
+		}
+	}
+	return Result{
+		Status:       Exhausted,
+		Steps:        maxSteps,
+		StabilizedAt: -1,
+		Final:        cur.Clone(),
+		Outputs:      append([]core.Bit(nil), cur.Outputs...),
+	}, nil
+}
+
+// classifyCycle replays the detected cycle once to decide whether outputs
+// are constant on it (OutputStable) or not (Oscillating).
+func classifyCycle(p *core.Protocol, x core.Input, cur core.Config, sched schedule.Schedule, t, prev, period int) (Result, error) {
+	g := p.Graph()
+	cycleLen := t - prev
+	ref := append([]core.Bit(nil), cur.Outputs...)
+	probe := cur.Clone()
+	next := probe.Clone()
+	active := make([]graph.NodeID, 0, g.N())
+	stableOutputs := true
+	replay := replaySchedule{inner: sched, offset: t}
+	for k := 1; k <= cycleLen; k++ {
+		active = replay.Activated(k, active[:0])
+		core.Step(p, x, probe, &next, active)
+		probe, next = next, probe
+		for v := range ref {
+			if probe.Outputs[v] != ref[v] {
+				stableOutputs = false
+			}
+		}
+	}
+	status := OutputStable
+	if !stableOutputs {
+		status = Oscillating
+	}
+	return Result{
+		Status:       status,
+		Steps:        t,
+		StabilizedAt: prev,
+		CycleLen:     cycleLen,
+		Final:        cur.Clone(),
+		Outputs:      ref,
+	}, nil
+}
+
+// replaySchedule shifts a periodic schedule's clock so the cycle replay
+// continues from step t. Only used with deterministic periodic schedules
+// whose Activated is a pure function of t mod period: Synchronous,
+// RoundRobin, Scripted.
+type replaySchedule struct {
+	inner  schedule.Schedule
+	offset int
+}
+
+func (r replaySchedule) Activated(k int, dst []graph.NodeID) []graph.NodeID {
+	return r.inner.Activated(r.offset+k, dst)
+}
+
+// RunSynchronous is a convenience wrapper: synchronous schedule with cycle
+// detection, the setting of all Part II results.
+func RunSynchronous(p *core.Protocol, x core.Input, l0 core.Labeling, maxSteps int) (Result, error) {
+	return Run(p, x, l0, schedule.Synchronous{N: p.Graph().N()}, Options{
+		MaxSteps:     maxSteps,
+		DetectCycles: true,
+	})
+}
+
+// ComputesOn checks that from initial labeling l0 under the synchronous
+// schedule, the run output-stabilizes with every node's output equal to
+// want. It returns the number of rounds to stabilization.
+func ComputesOn(p *core.Protocol, x core.Input, l0 core.Labeling, want core.Bit, maxSteps int) (int, error) {
+	res, err := RunSynchronous(p, x, l0, maxSteps)
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != LabelStable && res.Status != OutputStable {
+		return 0, fmt.Errorf("sim: did not stabilize: %v after %d steps", res.Status, res.Steps)
+	}
+	for v, y := range res.Outputs {
+		if y != want {
+			return 0, fmt.Errorf("sim: node %d output %d, want %d (input %s)", v, y, want, x)
+		}
+	}
+	return res.StabilizedAt, nil
+}
+
+// RoundComplexity measures max over the given initial labelings and inputs
+// of the synchronous stabilization time — an empirical estimate of R_n
+// (§2.3). The check function receives each result for validation and may
+// be nil.
+func RoundComplexity(p *core.Protocol, inputs []core.Input, labelings []core.Labeling, maxSteps int, check func(core.Input, Result) error) (int, error) {
+	worst := 0
+	for _, x := range inputs {
+		for _, l0 := range labelings {
+			res, err := RunSynchronous(p, x, l0, maxSteps)
+			if err != nil {
+				return 0, err
+			}
+			if res.Status != LabelStable && res.Status != OutputStable {
+				return 0, fmt.Errorf("sim: input %s: %v after %d steps", x, res.Status, res.Steps)
+			}
+			if check != nil {
+				if err := check(x, res); err != nil {
+					return 0, err
+				}
+			}
+			if res.StabilizedAt > worst {
+				worst = res.StabilizedAt
+			}
+		}
+	}
+	return worst, nil
+}

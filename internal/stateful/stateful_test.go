@@ -1,0 +1,245 @@
+package stateful
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/sim"
+)
+
+// oscillatingInstance never halts: g(T) = ¬T_0 over Γ = {0,1}, m = 2.
+func oscillatingInstance() *StringOscillation {
+	return &StringOscillation{
+		M:     2,
+		Gamma: 2,
+		G: func(t []uint64) (uint64, bool) {
+			return 1 - t[0], false
+		},
+	}
+}
+
+// haltingInstance always halts: g(T) = halt once T_0 = 1, else write 1.
+func haltingInstance() *StringOscillation {
+	return &StringOscillation{
+		M:     2,
+		Gamma: 2,
+		G: func(t []uint64) (uint64, bool) {
+			if t[0] == 1 {
+				return 0, true
+			}
+			return 1, false
+		},
+	}
+}
+
+func TestStringOscillationVerdicts(t *testing.T) {
+	osc := oscillatingInstance()
+	forever, err := osc.RunsForever([]uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forever {
+		t.Error("¬T_0 rewrite must run forever")
+	}
+	halt := haltingInstance()
+	for _, init := range [][]uint64{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		forever, err := halt.RunsForever(init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if forever {
+			t.Errorf("halting instance ran forever from %v", init)
+		}
+	}
+	found, witness, err := osc.SomeOscillation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Error("SomeOscillation should find a witness")
+	}
+	if forever, _ := osc.RunsForever(witness); !forever {
+		t.Error("witness does not run forever")
+	}
+	found, _, err = halt.SomeOscillation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("halting instance has no oscillation")
+	}
+}
+
+func TestReductionOscillates(t *testing.T) {
+	// Theorem B.11, Claim B.12: a non-terminating string makes the
+	// stateful protocol oscillate from the constructed start.
+	so := oscillatingInstance()
+	p, err := so.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	start, err := so.ReductionStart([]uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunSynchronous(start, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stable || res.CycleLen == 0 {
+		t.Errorf("want oscillation, got %+v", res)
+	}
+}
+
+func TestReductionStabilizes(t *testing.T) {
+	// Claim B.13 (contrapositive): if the procedure always halts, the
+	// protocol label-stabilizes — exhaustively over all |Σ|^{m+1}
+	// configurations under the synchronous schedule.
+	so := haltingInstance()
+	p, err := so.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int(p.Size)
+	total := 1
+	for i := 0; i <= so.M; i++ {
+		total *= size
+	}
+	for v := 0; v < total; v++ {
+		cfg := make([]core.Label, so.M+1)
+		rem := v
+		for i := range cfg {
+			cfg[i] = core.Label(rem % size)
+			rem /= size
+		}
+		res, err := p.RunSynchronous(cfg, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stable {
+			t.Fatalf("halting instance: config %v did not stabilize (%+v)", cfg, res)
+		}
+	}
+}
+
+func TestMetanodePreservesOscillation(t *testing.T) {
+	// Theorem B.14 / Claim B.19: stateful oscillation lifts to the
+	// stateless metanode protocol under the metanode-synchronous schedule.
+	so := oscillatingInstance()
+	a, err := so.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abar, err := Metanode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, err := so.ReductionStart([]uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunSynchronous(abar, make(core.Input, abar.Graph().N()),
+		MetanodeStart(abar, start), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sim.Oscillating && res.Status != sim.OutputStable {
+		t.Fatalf("status %v, want a labeling cycle", res.Status)
+	}
+	if res.Status == sim.OutputStable &&
+		core.IsStable(abar, make(core.Input, abar.Graph().N()), res.Final.Labels) {
+		t.Error("metanode protocol reached a fixed point; oscillation lost")
+	}
+}
+
+func TestMetanodePreservesStabilization(t *testing.T) {
+	// Claim B.21 direction, sampled: when A always stabilizes, Ā
+	// stabilizes (to ω^{3n}) from lifted and from random labelings.
+	so := haltingInstance()
+	a, err := so.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abar, err := Metanode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := abar.Graph()
+	x := make(core.Input, g.N())
+	omega := core.Label(a.Size)
+
+	checkConverges := func(l0 core.Labeling) {
+		t.Helper()
+		res, err := sim.RunSynchronous(abar, x, l0, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != sim.LabelStable {
+			t.Fatalf("status %v, want label-stable", res.Status)
+		}
+		for _, lab := range res.Final.Labels {
+			if lab != omega {
+				t.Fatalf("stable labeling not ω^3n: found %d", lab)
+			}
+		}
+	}
+
+	// Lifted configurations of A.
+	rng := rand.New(rand.NewPCG(8, 8))
+	for trial := 0; trial < 10; trial++ {
+		cfg := make([]core.Label, a.N)
+		for i := range cfg {
+			cfg[i] = core.Label(rng.Uint64N(a.Size))
+		}
+		checkConverges(MetanodeStart(abar, cfg))
+	}
+	// Random (inconsistent) labelings — must collapse to ω.
+	for trial := 0; trial < 10; trial++ {
+		checkConverges(core.RandomLabeling(g, abar.Space(), rng))
+	}
+}
+
+func TestMetanodeOmegaIsStable(t *testing.T) {
+	so := haltingInstance()
+	a, _ := so.Reduce()
+	abar, err := Metanode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := abar.Graph()
+	omegaAll := core.UniformLabeling(g, core.Label(a.Size))
+	if !core.IsStable(abar, make(core.Input, g.N()), omegaAll) {
+		t.Error("ω^{3n} must be a stable labeling of the metanode protocol")
+	}
+}
+
+func TestProtocolValidate(t *testing.T) {
+	bad := &Protocol{N: 2, Size: 3, Reactions: []func([]core.Label) core.Label{nil, nil}}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil reactions should fail")
+	}
+	if err := (&Protocol{N: 0}).Validate(); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if err := (&StringOscillation{}).Validate(); err == nil {
+		t.Error("empty instance should fail")
+	}
+}
+
+func TestRunSynchronousBadInit(t *testing.T) {
+	so := haltingInstance()
+	p, _ := so.Reduce()
+	if _, err := p.RunSynchronous(make([]core.Label, 1), 10); err == nil {
+		t.Error("bad init length should fail")
+	}
+	if _, err := so.RunsForever([]uint64{0}); err == nil {
+		t.Error("bad string length should fail")
+	}
+	if _, err := so.ReductionStart([]uint64{0}); err == nil {
+		t.Error("bad string length should fail")
+	}
+}

@@ -1,0 +1,483 @@
+// Package verify decides whether small stateless protocols are label or
+// output r-stabilizing by explicit state-space search. It implements the
+// construction from the proof of Theorem 3.1 literally: the states-graph
+// G' over vertices (ℓ, x) ∈ Σ^E × [r]^n where ℓ is a labeling and x is a
+// per-node inactivity countdown, with one edge per admissible activation
+// set T ⊇ {i : x_i = 1}, leading to (δ(ℓ,T), c(x,T)).
+//
+// Deciding r-stabilization is PSPACE-complete (Theorem 4.2) and needs
+// exponential communication (Theorem 4.1), so this brute force is the best
+// one can hope for in general; it is used on the paper's small gadgets to
+// verify the theorems' iff-properties empirically.
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// ErrStateSpaceTooLarge is returned when the (estimated or actual) number
+// of explored states exceeds the caller's limit.
+var ErrStateSpaceTooLarge = errors.New("verify: state space exceeds limit")
+
+// Witness describes why a protocol is not r-stabilizing: a reachable cycle
+// in the states-graph along which the labeling (or output vector) changes.
+type Witness struct {
+	// Labelings are two distinct labelings occurring in one strongly
+	// connected component of the states-graph, i.e. the system can
+	// oscillate between them forever under some r-fair schedule.
+	Labelings [2]core.Labeling
+	// Outputs are set instead for output-stabilization violations.
+	Outputs [2][]core.Bit
+}
+
+// Decision is the result of a stabilization check.
+type Decision struct {
+	// Stabilizing reports the verdict.
+	Stabilizing bool
+	// States is the number of states explored.
+	States int
+	// Witness is non-nil iff !Stabilizing.
+	Witness *Witness
+}
+
+// EnumerateLabelings calls fn for every labeling in Σ^E, in odometer order.
+// fn must not retain the slice. Stops early (returning the callback error)
+// if fn fails.
+func EnumerateLabelings(space core.LabelSpace, m int, fn func(core.Labeling) error) error {
+	l := make(core.Labeling, m)
+	for {
+		if err := fn(l); err != nil {
+			return err
+		}
+		i := 0
+		for i < m {
+			l[i]++
+			if uint64(l[i]) < space.Size() {
+				break
+			}
+			l[i] = 0
+			i++
+		}
+		if i == m {
+			return nil
+		}
+	}
+}
+
+// StableLabelings enumerates all stable labelings of (p, x): the fixed
+// points of every reaction function (Section 3). limit bounds |Σ|^|E|.
+func StableLabelings(p *core.Protocol, x core.Input, limit int) ([]core.Labeling, error) {
+	m := p.Graph().M()
+	if tooMany(p.Space().Size(), m, limit) {
+		return nil, fmt.Errorf("%w: |Σ|^m = %d^%d", ErrStateSpaceTooLarge, p.Space().Size(), m)
+	}
+	var stable []core.Labeling
+	err := EnumerateLabelings(p.Space(), m, func(l core.Labeling) error {
+		if core.IsStable(p, x, l) {
+			stable = append(stable, l.Clone())
+		}
+		return nil
+	})
+	return stable, err
+}
+
+func tooMany(size uint64, m, limit int) bool {
+	total := 1.0
+	for i := 0; i < m; i++ {
+		total *= float64(size)
+		if total > float64(limit) {
+			return true
+		}
+	}
+	return math.IsInf(total, 0)
+}
+
+// stateGraph is the explored portion of the Theorem 3.1 states-graph.
+type stateGraph struct {
+	p *core.Protocol
+	x core.Input
+	r int
+
+	// trackOutputs extends the state with the output vector, for output-
+	// stabilization checks.
+	trackOutputs bool
+
+	ids    map[string]int
+	states []state
+	adj    [][]int32
+}
+
+type state struct {
+	labels    core.Labeling
+	countdown []uint8
+	outputs   []core.Bit // nil unless trackOutputs
+}
+
+func (sg *stateGraph) key(s state) string {
+	buf := make([]byte, 0, 8*len(s.labels)+len(s.countdown)+len(s.outputs))
+	buf = append(buf, []byte(s.labels.Key())...)
+	buf = append(buf, s.countdown...)
+	for _, b := range s.outputs {
+		buf = append(buf, byte(b))
+	}
+	return string(buf)
+}
+
+// intern returns the state's ID, adding it if new (second return true).
+func (sg *stateGraph) intern(s state) (int, bool) {
+	k := sg.key(s)
+	if id, ok := sg.ids[k]; ok {
+		return id, false
+	}
+	id := len(sg.states)
+	sg.ids[k] = id
+	sg.states = append(sg.states, s)
+	sg.adj = append(sg.adj, nil)
+	return id, true
+}
+
+// successors computes all admissible transitions from state id and records
+// them in adj, returning newly discovered state IDs.
+func (sg *stateGraph) successors(id int, limit int) ([]int, error) {
+	s := sg.states[id]
+	g := sg.p.Graph()
+	n := g.N()
+	forced := 0
+	forcedMask := 0
+	for i, c := range s.countdown {
+		if c == 1 {
+			forced++
+			forcedMask |= 1 << i
+		}
+	}
+	var fresh []int
+	free := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if forcedMask&(1<<i) == 0 {
+			free = append(free, i)
+		}
+	}
+	cur := core.Config{Labels: s.labels, Outputs: outputsOrZero(s.outputs, n)}
+	next := core.Config{Labels: make(core.Labeling, g.M()), Outputs: make([]core.Bit, n)}
+	active := make([]graph.NodeID, 0, n)
+	// Enumerate subsets of the free nodes; the activation set is
+	// forced ∪ subset, and must be nonempty.
+	for sub := 0; sub < (1 << len(free)); sub++ {
+		if forced == 0 && sub == 0 {
+			continue
+		}
+		active = active[:0]
+		for i := 0; i < n; i++ {
+			if forcedMask&(1<<i) != 0 {
+				active = append(active, graph.NodeID(i))
+			}
+		}
+		for bi, i := range free {
+			if sub&(1<<bi) != 0 {
+				active = append(active, graph.NodeID(i))
+			}
+		}
+		core.Step(sg.p, sg.x, cur, &next, active)
+		ns := state{
+			labels:    next.Labels.Clone(),
+			countdown: make([]uint8, n),
+		}
+		if sg.trackOutputs {
+			ns.outputs = append([]core.Bit(nil), next.Outputs...)
+		}
+		inT := make([]bool, n)
+		for _, v := range active {
+			inT[v] = true
+		}
+		for i := 0; i < n; i++ {
+			if inT[i] {
+				ns.countdown[i] = uint8(sg.r)
+			} else {
+				ns.countdown[i] = s.countdown[i] - 1
+			}
+		}
+		nid, isNew := sg.intern(ns)
+		sg.adj[id] = append(sg.adj[id], int32(nid))
+		if isNew {
+			if len(sg.states) > limit {
+				return nil, fmt.Errorf("%w: > %d states", ErrStateSpaceTooLarge, limit)
+			}
+			fresh = append(fresh, nid)
+		}
+	}
+	return fresh, nil
+}
+
+func outputsOrZero(o []core.Bit, n int) []core.Bit {
+	if o != nil {
+		return o
+	}
+	return make([]core.Bit, n)
+}
+
+// explore builds the full reachable states-graph from all initial vertices
+// (ℓ, r^n), ℓ ∈ Σ^E.
+func (sg *stateGraph) explore(limit int) error {
+	g := sg.p.Graph()
+	n, m := g.N(), g.M()
+	if tooMany(sg.p.Space().Size(), m, limit) {
+		return fmt.Errorf("%w: |Σ|^m too large", ErrStateSpaceTooLarge)
+	}
+	var frontier []int
+	err := EnumerateLabelings(sg.p.Space(), m, func(l core.Labeling) error {
+		cd := make([]uint8, n)
+		for i := range cd {
+			cd[i] = uint8(sg.r)
+		}
+		s := state{labels: l.Clone(), countdown: cd}
+		if sg.trackOutputs {
+			// Initial outputs: apply one synchronous activation's worth of
+			// outputs is NOT done — initial outputs are arbitrary; we use
+			// zeros. Cycle analysis only inspects states on cycles, where
+			// every node has been activated (countdowns force it), so the
+			// initial vector washes out.
+			s.outputs = make([]core.Bit, n)
+		}
+		id, isNew := sg.intern(s)
+		if isNew {
+			if len(sg.states) > limit {
+				return fmt.Errorf("%w: > %d states", ErrStateSpaceTooLarge, limit)
+			}
+			frontier = append(frontier, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		fresh, err := sg.successors(id, limit)
+		if err != nil {
+			return err
+		}
+		frontier = append(frontier, fresh...)
+	}
+	return nil
+}
+
+// sccs runs iterative Tarjan over the explored graph.
+func (sg *stateGraph) sccs() [][]int {
+	const unvisited = -1
+	nStates := len(sg.states)
+	index := make([]int, nStates)
+	low := make([]int, nStates)
+	onStack := make([]bool, nStates)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int
+		comps   [][]int
+		counter int
+	)
+	type frame struct {
+		v    int
+		next int
+	}
+	for start := 0; start < nStates; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{start, 0}}
+		index[start], low[start] = counter, counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.next < len(sg.adj[f.v]) {
+				u := int(sg.adj[f.v][f.next])
+				f.next++
+				if index[u] == unvisited {
+					index[u], low[u] = counter, counter
+					counter++
+					stack = append(stack, u)
+					onStack[u] = true
+					callStack = append(callStack, frame{u, 0})
+				} else if onStack[u] && index[u] < low[f.v] {
+					low[f.v] = index[u]
+				}
+				continue
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// hasSelfLoop reports whether state v has an edge to itself.
+func (sg *stateGraph) hasSelfLoop(v int) bool {
+	for _, u := range sg.adj[v] {
+		if int(u) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// LabelRStabilizing decides whether p (with input x) is label
+// r-stabilizing: for every initial labeling and every r-fair schedule, the
+// labeling sequence converges. limit bounds the explored state count.
+//
+// Soundness: an infinite run of the system corresponds to an infinite path
+// in the states-graph, whose infinitely-visited vertex set lies inside one
+// SCC. On a cycle the countdown forces every node to activate, so a cycle
+// whose labelings are all equal has a stable labeling; hence the protocol
+// fails to label r-stabilize iff some SCC containing a cycle contains two
+// distinct labelings.
+func LabelRStabilizing(p *core.Protocol, x core.Input, r int, limit int) (Decision, error) {
+	if r < 1 {
+		return Decision{}, errors.New("verify: r must be ≥ 1")
+	}
+	sg := &stateGraph{
+		p:   p,
+		x:   x,
+		r:   r,
+		ids: make(map[string]int),
+	}
+	if err := sg.explore(limit); err != nil {
+		return Decision{}, err
+	}
+	for _, comp := range sg.sccs() {
+		if len(comp) == 1 && !sg.hasSelfLoop(comp[0]) {
+			continue // no cycle through this component
+		}
+		first := sg.states[comp[0]].labels
+		for _, v := range comp[1:] {
+			if !sg.states[v].labels.Equal(first) {
+				return Decision{
+					Stabilizing: false,
+					States:      len(sg.states),
+					Witness: &Witness{
+						Labelings: [2]core.Labeling{first.Clone(), sg.states[v].labels.Clone()},
+					},
+				}, nil
+			}
+		}
+	}
+	return Decision{Stabilizing: true, States: len(sg.states)}, nil
+}
+
+// OutputRStabilizing decides whether p (with input x) is output
+// r-stabilizing: every node's output sequence converges on every r-fair
+// schedule from every initial labeling. Same SCC criterion, applied to the
+// output vectors of states on cycles.
+func OutputRStabilizing(p *core.Protocol, x core.Input, r int, limit int) (Decision, error) {
+	if r < 1 {
+		return Decision{}, errors.New("verify: r must be ≥ 1")
+	}
+	sg := &stateGraph{
+		p:            p,
+		x:            x,
+		r:            r,
+		trackOutputs: true,
+		ids:          make(map[string]int),
+	}
+	if err := sg.explore(limit); err != nil {
+		return Decision{}, err
+	}
+	for _, comp := range sg.sccs() {
+		if len(comp) == 1 && !sg.hasSelfLoop(comp[0]) {
+			continue
+		}
+		first := sg.states[comp[0]].outputs
+		for _, v := range comp[1:] {
+			if !bitsEqual(sg.states[v].outputs, first) {
+				return Decision{
+					Stabilizing: false,
+					States:      len(sg.states),
+					Witness: &Witness{
+						Outputs: [2][]core.Bit{
+							append([]core.Bit(nil), first...),
+							append([]core.Bit(nil), sg.states[v].outputs...),
+						},
+					},
+				}, nil
+			}
+		}
+	}
+	return Decision{Stabilizing: true, States: len(sg.states)}, nil
+}
+
+func bitsEqual(a, b []core.Bit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StablePerNodeLabelings enumerates the stable labelings of protocols in
+// which every node emits the same label on all outgoing edges (cliques and
+// other "broadcast" protocols, e.g. best-response dynamics): any stable
+// labeling of such a protocol is per-node uniform, so it suffices to sweep
+// |Σ|^n per-node assignments instead of |Σ|^|E| labelings.
+func StablePerNodeLabelings(p *core.Protocol, x core.Input, limit int) ([]core.Labeling, error) {
+	g := p.Graph()
+	n := g.N()
+	if tooMany(p.Space().Size(), n, limit) {
+		return nil, fmt.Errorf("%w: |Σ|^n = %d^%d", ErrStateSpaceTooLarge, p.Space().Size(), n)
+	}
+	size := p.Space().Size()
+	assign := make([]core.Label, n)
+	l := make(core.Labeling, g.M())
+	var out []core.Labeling
+	for {
+		for v := 0; v < n; v++ {
+			for _, id := range g.Out(graph.NodeID(v)) {
+				l[id] = assign[v]
+			}
+		}
+		if core.IsStable(p, x, l) {
+			out = append(out, l.Clone())
+		}
+		i := 0
+		for i < n {
+			assign[i]++
+			if uint64(assign[i]) < size {
+				break
+			}
+			assign[i] = 0
+			i++
+		}
+		if i == n {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package stateless_test
+
+import (
+	"testing"
+
+	"stateless"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does: build a protocol, run it, inspect the result.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := stateless.Clique(4)
+	p, err := stateless.NewUniformProtocol(g, stateless.BinarySpace(),
+		func(in []stateless.Label, input stateless.Bit, out []stateless.Label) stateless.Bit {
+			any := stateless.Label(input)
+			for _, l := range in {
+				any |= l
+			}
+			for i := range out {
+				out[i] = any
+			}
+			return stateless.Bit(any)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stateless.RunSynchronous(p, stateless.Input{0, 1, 0, 0},
+		stateless.UniformLabeling(g, 0), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != stateless.LabelStable {
+		t.Fatalf("status %v", res.Status)
+	}
+	for _, y := range res.Outputs {
+		if y != 1 {
+			t.Error("OR should be 1")
+		}
+	}
+}
+
+func TestFacadeSchedules(t *testing.T) {
+	sched, err := stateless.NewRandomRFair(4, 2, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud := stateless.NewFairnessAuditor(4, 2)
+	var buf []stateless.NodeID
+	for s := 1; s <= 50; s++ {
+		buf = sched.Activated(s, buf[:0])
+		if err := aud.Observe(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := stateless.NewScripted(nil); err == nil {
+		t.Error("empty script should fail")
+	}
+}
+
+func TestFacadeGraphs(t *testing.T) {
+	for _, g := range []*stateless.Graph{
+		stateless.Ring(5), stateless.BidirectionalRing(4), stateless.Star(4),
+		stateless.Path(4), stateless.Torus(2, 3), stateless.Hypercube(3),
+	} {
+		if !g.IsStronglyConnected() {
+			t.Errorf("%v not strongly connected", g)
+		}
+	}
+	if _, err := stateless.NewGraph(0, nil); err == nil {
+		t.Error("empty graph should fail")
+	}
+	if _, err := stateless.NewLabelSpace(0); err == nil {
+		t.Error("empty space should fail")
+	}
+	x := stateless.InputFromUint(5, 4)
+	if x.String() != "1010" {
+		t.Errorf("input %s", x)
+	}
+	if stateless.BitOf(true) != 1 {
+		t.Error("BitOf broken")
+	}
+}
