@@ -10,6 +10,7 @@ import (
 	"stateless/internal/graph"
 	"stateless/internal/protocols"
 	"stateless/internal/sim"
+	"stateless/internal/verify"
 )
 
 // One benchmark per experiment in the evaluation (DESIGN.md §5): each
@@ -79,6 +80,34 @@ func BenchmarkE12_AsyncRuntime(b *testing.B) {
 }
 
 // Micro-benchmarks for the engine itself.
+
+// BenchmarkVerifyStatesGraph measures the Theorem 3.1 states-graph engine
+// directly — the packed-state throughput in states/second — on the E1
+// workload (Example 1's clique at the adversarial fairness r = n−1, the
+// heaviest verifier call in the reproduction). Run with -benchmem: the
+// packed encoding does zero per-state string allocation.
+func BenchmarkVerifyStatesGraph(b *testing.B) {
+	p, err := protocols.Example1Clique(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make(core.Input, 4)
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			states := 0
+			for i := 0; i < b.N; i++ {
+				dec, err := verify.LabelRStabilizingOpts(p, x, 3,
+					verify.Options{Limit: 1 << 24, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states += dec.States
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+		})
+	}
+}
 
 func BenchmarkStepSynchronousClique(b *testing.B) {
 	for _, n := range []int{8, 16, 32} {

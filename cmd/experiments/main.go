@@ -9,23 +9,31 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"stateless/internal/experiments"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	only := flag.String("only", "", "run a single experiment (e.g. E4)")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	only := fs.String("only", "", "run a single experiment (e.g. E4)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 	for _, e := range experiments.All() {
 		if *only != "" && e.ID != *only {
 			continue
@@ -34,7 +42,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Println(table.Render())
+		fmt.Fprintln(stdout, table.Render())
 	}
 	return nil
 }

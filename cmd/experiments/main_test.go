@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke test: the binary's run() must succeed and produce a rendered table
+// for a cheap experiment. Guards the module build (this package had no
+// tests, so a broken build here went unnoticed) and the flag plumbing.
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "E7") || len(strings.TrimSpace(s)) == 0 {
+		t.Fatalf("expected an E7 table, got:\n%s", s)
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("expected an error for an unknown flag")
+	}
+}

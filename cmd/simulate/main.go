@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
 
@@ -25,26 +27,32 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	var (
-		name     = flag.String("protocol", "example1", "protocol: example1 | tree-xor | tree-maj | slow-ring | dcounter | bgp-good | bgp-disagree | bgp-bad")
-		n        = flag.Int("n", 5, "number of nodes (where applicable)")
-		d        = flag.Uint64("d", 8, "counter modulus for -protocol dcounter")
-		q        = flag.Uint64("q", 3, "label alphabet size for -protocol slow-ring")
-		inputStr = flag.String("input", "", "input bits, e.g. 10110 (defaults to zeros)")
-		schedStr = flag.String("schedule", "sync", "schedule: sync | roundrobin | rfair | adversarial")
-		r        = flag.Int("r", 0, "fairness window for -schedule rfair (default n-1)")
-		seed     = flag.Uint64("seed", 1, "seed for random schedule/labeling")
-		maxSteps = flag.Int("steps", 100000, "maximum steps")
-		randInit = flag.Bool("random-init", false, "start from a random labeling (transient fault)")
+		name     = fs.String("protocol", "example1", "protocol: example1 | tree-xor | tree-maj | slow-ring | dcounter | bgp-good | bgp-disagree | bgp-bad")
+		n        = fs.Int("n", 5, "number of nodes (where applicable)")
+		d        = fs.Uint64("d", 8, "counter modulus for -protocol dcounter")
+		q        = fs.Uint64("q", 3, "label alphabet size for -protocol slow-ring")
+		inputStr = fs.String("input", "", "input bits, e.g. 10110 (defaults to zeros)")
+		schedStr = fs.String("schedule", "sync", "schedule: sync | roundrobin | rfair | adversarial")
+		r        = fs.Int("r", 0, "fairness window for -schedule rfair (default n-1)")
+		seed     = fs.Uint64("seed", 1, "seed for random schedule/labeling")
+		maxSteps = fs.Int("steps", 100000, "maximum steps")
+		randInit = fs.Bool("random-init", false, "start from a random labeling (transient fault)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	p, defaultSchedule, err := buildProtocol(*name, *n, *d, *q)
 	if err != nil {
@@ -77,7 +85,7 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("protocol=%s nodes=%d edges=%d |Σ|=%d (%d bits) schedule=%s\n",
+	fmt.Fprintf(stdout, "protocol=%s nodes=%d edges=%d |Σ|=%d (%d bits) schedule=%s\n",
 		*name, nn, g.M(), p.Space().Size(), p.LabelBits(), *schedStr)
 
 	opts := sim.Options{MaxSteps: *maxSteps}
@@ -89,13 +97,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("status=%v steps=%d stabilized_at=%d cycle=%d\n",
+	fmt.Fprintf(stdout, "status=%v steps=%d stabilized_at=%d cycle=%d\n",
 		res.Status, res.Steps, res.StabilizedAt, res.CycleLen)
-	fmt.Printf("outputs=")
+	fmt.Fprintf(stdout, "outputs=")
 	for _, y := range res.Outputs {
-		fmt.Printf("%d", y)
+		fmt.Fprintf(stdout, "%d", y)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	return nil
 }
 

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke tests over every protocol/schedule pair the CLI advertises: each
+// must exit cleanly and report a status line. Guards the module build in
+// this previously test-less package.
+func TestRunAllProtocols(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "example1", "-n", "4"},
+		{"-protocol", "example1", "-n", "4", "-schedule", "adversarial"},
+		{"-protocol", "tree-xor", "-n", "5", "-input", "10110"},
+		{"-protocol", "tree-maj", "-n", "5", "-input", "11100", "-schedule", "roundrobin"},
+		{"-protocol", "slow-ring", "-n", "4", "-q", "3"},
+		{"-protocol", "dcounter", "-n", "5", "-d", "8", "-steps", "2000"},
+		{"-protocol", "bgp-good", "-schedule", "rfair", "-steps", "2000"},
+		{"-protocol", "bgp-disagree", "-random-init"},
+		{"-protocol", "bgp-bad", "-steps", "1000"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(args, &out); err != nil {
+				t.Fatalf("%v: %v", args, err)
+			}
+			if !strings.Contains(out.String(), "status=") {
+				t.Fatalf("%v: no status line in output:\n%s", args, out.String())
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "nope"}, &out); err == nil {
+		t.Fatal("expected an error for an unknown protocol")
+	}
+}

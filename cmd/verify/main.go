@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"stateless/internal/bestresponse"
@@ -20,21 +22,28 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	var (
-		name   = flag.String("protocol", "example1", "protocol: example1 | bgp-good | bgp-disagree | bgp-bad")
-		n      = flag.Int("n", 3, "clique size for example1")
-		r      = flag.Int("r", 2, "fairness parameter")
-		output = flag.Bool("output", false, "check output stabilization instead of label stabilization")
-		limit  = flag.Int("limit", 1<<24, "state-space limit")
+		name    = fs.String("protocol", "example1", "protocol: example1 | bgp-good | bgp-disagree | bgp-bad")
+		n       = fs.Int("n", 3, "clique size for example1")
+		r       = fs.Int("r", 2, "fairness parameter")
+		output  = fs.Bool("output", false, "check output stabilization instead of label stabilization")
+		limit   = fs.Int("limit", 1<<24, "state-space limit")
+		workers = fs.Int("workers", 0, "exploration worker-pool size (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	var (
 		p   *core.Protocol
@@ -59,17 +68,18 @@ func run() error {
 
 	stable, err := verify.StablePerNodeLabelings(p, x, *limit)
 	if err == nil {
-		fmt.Printf("stable labelings (per-node-uniform): %d\n", len(stable))
+		fmt.Fprintf(stdout, "stable labelings (per-node-uniform): %d\n", len(stable))
 		if len(stable) >= 2 {
-			fmt.Printf("⇒ Theorem 3.1: cannot be label %d-stabilizing\n", p.Graph().N()-1)
+			fmt.Fprintf(stdout, "⇒ Theorem 3.1: cannot be label %d-stabilizing\n", p.Graph().N()-1)
 		}
 	}
 
 	var dec verify.Decision
+	opts := verify.Options{Limit: *limit, Workers: *workers}
 	if *output {
-		dec, err = verify.OutputRStabilizing(p, x, *r, *limit)
+		dec, err = verify.OutputRStabilizingOpts(p, x, *r, opts)
 	} else {
-		dec, err = verify.LabelRStabilizing(p, x, *r, *limit)
+		dec, err = verify.LabelRStabilizingOpts(p, x, *r, opts)
 	}
 	if err != nil {
 		return err
@@ -78,9 +88,9 @@ func run() error {
 	if *output {
 		kind = "output"
 	}
-	fmt.Printf("%s %d-stabilizing: %v (explored %d states)\n", kind, *r, dec.Stabilizing, dec.States)
+	fmt.Fprintf(stdout, "%s %d-stabilizing: %v (explored %d states)\n", kind, *r, dec.Stabilizing, dec.States)
 	if dec.Witness != nil {
-		fmt.Println("witness: a reachable oscillation exists between two configurations")
+		fmt.Fprintln(stdout, "witness: a reachable oscillation exists between two configurations")
 	}
 	return nil
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke tests: label and output verdicts on the toy protocols, including
+// an explicit multi-worker run of the parallel explorer. Guards the module
+// build in this previously test-less package.
+func TestRunVerdicts(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-protocol", "example1", "-n", "3", "-r", "1"}, "label 1-stabilizing: true"},
+		{[]string{"-protocol", "example1", "-n", "3", "-r", "2"}, "label 2-stabilizing: false"},
+		{[]string{"-protocol", "example1", "-n", "3", "-r", "2", "-workers", "4"}, "label 2-stabilizing: false"},
+		{[]string{"-protocol", "bgp-disagree", "-r", "2", "-output"}, "output 2-stabilizing:"},
+	}
+	for _, tc := range cases {
+		t.Run(strings.Join(tc.args, " "), func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out.String())
+			}
+		})
+	}
+}
+
+func TestRunStateLimit(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "example1", "-n", "3", "-r", "2", "-limit", "10"}, &out); err == nil {
+		t.Fatal("expected a state-space-limit error")
+	}
+}

@@ -1,0 +1,3 @@
+module stateless
+
+go 1.24

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"stateless/internal/core"
+	"stateless/internal/enc"
 	"stateless/internal/stateful"
 )
 
@@ -109,18 +110,44 @@ func (p *Protocol) RunSynchronous(init Config, maxSteps int) (RunResult, error) 
 		all[i] = i
 	}
 	cur := init.Clone()
-	seen := map[string]int{p.key(cur): 0}
+	// Packing is injective only for in-space values; reject stray init
+	// entries up front (reactions are contractually in-space).
+	for i := 0; i < p.N; i++ {
+		if uint64(cur.Labels[i]) >= p.LabelSize {
+			return RunResult{}, fmt.Errorf("almoststateless: init label %d = %d outside Σ of size %d", i, cur.Labels[i], p.LabelSize)
+		}
+		if uint64(cur.Mems[i]) >= p.MemSize {
+			return RunResult{}, fmt.Errorf("almoststateless: init memory %d = %d outside M of size %d", i, cur.Mems[i], p.MemSize)
+		}
+	}
+	// Packed cycle keys over the joint (labels, memories) vector, treated
+	// as one 2N-long labeling over the wider of the two spaces.
+	space := p.LabelSize
+	if p.MemSize > space {
+		space = p.MemSize
+	}
+	codec := enc.NewLabelCodec(core.MustLabelSpace(space), 2*p.N)
+	seen := enc.NewTable(codec.Words(), 256)
+	joint := make(core.Labeling, 0, 2*p.N)
+	var keyBuf []uint64
+	pack := func(c Config) []uint64 {
+		joint = append(append(joint[:0], c.Labels...), c.Mems...)
+		keyBuf = codec.PackLabels(joint, keyBuf)
+		return keyBuf
+	}
+	seenStep := []int{0}
+	seen.Intern(pack(cur))
 	for t := 1; t <= maxSteps; t++ {
 		next := p.Step(cur, all)
 		if p.isFixed(cur, next) {
 			return RunResult{Stable: true, Steps: t, Final: next}, nil
 		}
 		cur = next
-		k := p.key(cur)
-		if prev, ok := seen[k]; ok {
-			return RunResult{Steps: t, CycleLen: t - prev, Final: cur}, nil
+		id, fresh := seen.Intern(pack(cur))
+		if !fresh {
+			return RunResult{Steps: t, CycleLen: t - seenStep[id], Final: cur}, nil
 		}
-		seen[k] = t
+		seenStep = append(seenStep, t)
 	}
 	return RunResult{Steps: maxSteps, Final: cur}, nil
 }
@@ -132,21 +159,6 @@ func (p *Protocol) isFixed(cur, next Config) bool {
 		}
 	}
 	return true
-}
-
-func (p *Protocol) key(c Config) string {
-	buf := make([]byte, 0, 16*p.N)
-	for _, v := range c.Labels {
-		for s := 0; s < 64; s += 8 {
-			buf = append(buf, byte(v>>uint(s)))
-		}
-	}
-	for _, v := range c.Mems {
-		for s := 0; s < 64; s += 8 {
-			buf = append(buf, byte(v>>uint(s)))
-		}
-	}
-	return string(buf)
 }
 
 // ToStateful folds the memory into the emitted label: the stateful

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"stateless/internal/core"
+	"stateless/internal/enc"
 	"stateless/internal/graph"
 	"stateless/internal/schedule"
 	"stateless/internal/sim"
@@ -60,6 +61,12 @@ func New(p *core.Protocol, x core.Input, l0 core.Labeling) (*Runtime, error) {
 	}
 	if len(l0) != g.M() {
 		return nil, errors.New("async: labeling length mismatch")
+	}
+	for i, l := range l0 {
+		if !p.Space().Contains(l) {
+			// Packed cycle keys are injective only for in-space labels.
+			return nil, fmt.Errorf("async: l0[%d] = %d outside %v", i, l, p.Space())
+		}
 	}
 	r := &Runtime{
 		p:       p,
@@ -165,9 +172,17 @@ func (r *Runtime) Run(sched schedule.Schedule, opts sim.Options) (sim.Result, er
 	if period <= 0 {
 		period = 1
 	}
-	var seen map[string]int
+	// Packed-label cycle keys, mirroring internal/sim: no per-step string
+	// allocation.
+	var (
+		codec    *enc.Codec
+		seen     *enc.Table
+		seenStep []int
+		keyBuf   []uint64
+	)
 	if opts.DetectCycles {
-		seen = make(map[string]int)
+		codec = enc.NewLabelCodec(r.p.Space(), r.p.Graph().M())
+		seen = enc.NewTable(codec.Words(), 256)
 	}
 	g := r.p.Graph()
 	active := make([]graph.NodeID, 0, g.N())
@@ -191,8 +206,10 @@ func (r *Runtime) Run(sched schedule.Schedule, opts sim.Options) (sim.Result, er
 			}, nil
 		}
 		if opts.DetectCycles && t%period == 0 {
-			key := r.labels.Key()
-			if prev, ok := seen[key]; ok {
+			keyBuf = codec.PackLabels(r.labels, keyBuf)
+			id, fresh := seen.Intern(keyBuf)
+			if !fresh {
+				prev := seenStep[id]
 				return sim.Result{
 					Status:       sim.Oscillating,
 					Steps:        t,
@@ -202,7 +219,7 @@ func (r *Runtime) Run(sched schedule.Schedule, opts sim.Options) (sim.Result, er
 					Outputs:      r.Outputs(),
 				}, nil
 			}
-			seen[key] = t
+			seenStep = append(seenStep, t)
 		}
 	}
 	return sim.Result{

@@ -27,8 +27,10 @@ func (l Labeling) Equal(other Labeling) bool {
 	return true
 }
 
-// Key returns a compact hashable representation (for cycle detection and
-// state-space search).
+// Key returns a hashable string representation (8 bytes per edge). The
+// state-space engines no longer key on it — they intern packed encodings
+// via internal/enc, which allocate nothing per state — but it remains a
+// convenient exact key for tests and ad-hoc tooling.
 func (l Labeling) Key() string {
 	buf := make([]byte, 8*len(l))
 	for i, v := range l {
@@ -150,6 +152,73 @@ func inScratch(buf []Label, n int) []Label {
 		return buf[:n]
 	}
 	return make([]Label, n)
+}
+
+// Stepper applies global transitions with reusable reaction buffers.
+// Step's stack scratch escapes through the reaction closures (two heap
+// allocations per call), which dominates the profile of state-space
+// search; a Stepper allocates its buffers once, so the verifier's
+// exploration and the simulator's stepping loop run allocation-free. A
+// Stepper is not safe for concurrent use — give each worker its own.
+type Stepper struct {
+	p   *Protocol
+	in  []Label
+	out []Label
+}
+
+// NewStepper returns a Stepper for p with buffers sized to its maximum
+// in/out degree.
+func NewStepper(p *Protocol) *Stepper {
+	g := p.Graph()
+	maxIn, maxOut := 0, 0
+	for v := 0; v < g.N(); v++ {
+		node := graph.NodeID(v)
+		if d := g.InDegree(node); d > maxIn {
+			maxIn = d
+		}
+		if d := g.OutDegree(node); d > maxOut {
+			maxOut = d
+		}
+	}
+	return &Stepper{p: p, in: make([]Label, maxIn), out: make([]Label, maxOut)}
+}
+
+// Step is Step with the Stepper's protocol and reusable buffers.
+func (s *Stepper) Step(x Input, cur Config, next *Config, active []graph.NodeID) bool {
+	g := s.p.Graph()
+	copy(next.Labels, cur.Labels)
+	copy(next.Outputs, cur.Outputs)
+	changed := false
+	for _, v := range active {
+		in := s.in[:g.InDegree(v)]
+		out := s.out[:g.OutDegree(v)]
+		y := s.p.React(v, cur.Labels, x[v], in, out)
+		next.Outputs[v] = y
+		for i, id := range g.Out(v) {
+			if next.Labels[id] != out[i] {
+				next.Labels[id] = out[i]
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// IsStable is IsStable with the Stepper's reusable buffers.
+func (s *Stepper) IsStable(x Input, l Labeling) bool {
+	g := s.p.Graph()
+	for v := 0; v < g.N(); v++ {
+		node := graph.NodeID(v)
+		in := s.in[:g.InDegree(node)]
+		out := s.out[:g.OutDegree(node)]
+		s.p.React(node, l, x[v], in, out)
+		for i, id := range g.Out(node) {
+			if l[id] != out[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // IsStable reports whether ℓ is a stable labeling for (p, x): a fixed point

@@ -24,6 +24,7 @@ import (
 	"stateless/internal/counter"
 	"stateless/internal/graph"
 	"stateless/internal/lowerbound"
+	"stateless/internal/par"
 	"stateless/internal/protocols"
 	"stateless/internal/schedule"
 	"stateless/internal/sim"
@@ -146,16 +147,25 @@ func E1CliqueStabilization() (Table, error) {
 			highStab = dec.Stabilizing
 		} else {
 			// State space too large for the exhaustive verifier (that is
-			// Theorem 4.2's point); sample synchronous runs instead.
+			// Theorem 4.2's point); sample synchronous runs instead, fanned
+			// out over the worker pool with one seeded RNG per trial.
 			method = "sampled"
-			rng := rand.New(rand.NewPCG(uint64(n), 5))
-			for trial := 0; trial < 50; trial++ {
+			stable := make([]bool, 50)
+			err := par.ForEach(len(stable), 0, func(trial int) error {
+				rng := rand.New(rand.NewPCG(uint64(n), uint64(5+trial)))
 				l0 := core.RandomLabeling(p.Graph(), p.Space(), rng)
 				r, err := sim.RunSynchronous(p, x, l0, 1000)
 				if err != nil {
-					return t, err
+					return err
 				}
-				lowOK = lowOK && r.Status == sim.LabelStable
+				stable[trial] = r.Status == sim.LabelStable
+				return nil
+			})
+			if err != nil {
+				return t, err
+			}
+			for _, ok := range stable {
+				lowOK = lowOK && ok
 			}
 			highStab = !oscillates
 		}
@@ -370,17 +380,23 @@ func E5BPRing() (Table, error) {
 			return t, err
 		}
 		n := prog.NumInputs
-		equiv := true
 		g := rp.Protocol().Graph()
-		for v := uint64(0); v < 1<<uint(n); v++ {
-			x := core.InputFromUint(v, n)
+		match := make([]bool, 1<<uint(n))
+		err = par.ForEach(len(match), 0, func(v int) error {
+			x := core.InputFromUint(uint64(v), n)
 			got, err := settleRing(rp.Protocol(), x, core.UniformLabeling(g, 0), rp.SettleBound())
 			if err != nil {
-				return t, err
+				return err
 			}
-			if got != prog.MustEval(x) {
-				equiv = false
-			}
+			match[v] = got == prog.MustEval(x)
+			return nil
+		})
+		if err != nil {
+			return t, err
+		}
+		equiv := true
+		for _, ok := range match {
+			equiv = equiv && ok
 		}
 		back, err := bp.FromRingProtocol(rp.Protocol(), 0)
 		if err != nil {
@@ -402,8 +418,9 @@ func settleRing(p *core.Protocol, x core.Input, l0 core.Labeling, settle int) (c
 	for i := range all {
 		all[i] = graph.NodeID(i)
 	}
+	stepper := core.NewStepper(p)
 	for k := 0; k < settle; k++ {
-		core.Step(p, x, cur, &next, all)
+		stepper.Step(x, cur, &next, all)
 		cur, next = next, cur
 	}
 	return cur.Outputs[0], nil
@@ -435,22 +452,28 @@ func E6CircuitRing() (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		equiv := true
 		g := rp.Protocol().Graph()
 		n := cc.NumInputs
-		for v := uint64(0); v < 1<<uint(n); v++ {
-			x := core.InputFromUint(v, n)
+		match := make([]bool, 1<<uint(n))
+		err = par.ForEach(len(match), 0, func(v int) error {
+			x := core.InputFromUint(uint64(v), n)
 			full, err := rp.Inputs(x)
 			if err != nil {
-				return t, err
+				return err
 			}
 			got, err := settleRing(rp.Protocol(), full, core.UniformLabeling(g, 0), rp.SettleBound())
 			if err != nil {
-				return t, err
+				return err
 			}
-			if got != cc.Eval(x) {
-				equiv = false
-			}
+			match[v] = got == cc.Eval(x)
+			return nil
+		})
+		if err != nil {
+			return t, err
+		}
+		equiv := true
+		for _, ok := range match {
+			equiv = equiv && ok
 		}
 		t.Rows = append(t.Rows, []string{
 			c.name, itoa(cc.Size()), itoa(rp.RingSize()), utoa(rp.CounterModulus()),
@@ -560,14 +583,23 @@ func E9CommHardness() (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		stabilizes := true
-		for trial := 0; trial < 20; trial++ {
-			l0 := core.RandomLabeling(gd2.Protocol.Graph(), gd2.Protocol.Space(), rng)
+		stableTrials := make([]bool, 20)
+		err = par.ForEach(len(stableTrials), 0, func(trial int) error {
+			trng := rand.New(rand.NewPCG(uint64(n), uint64(78+trial)))
+			l0 := core.RandomLabeling(gd2.Protocol.Graph(), gd2.Protocol.Space(), trng)
 			r, err := sim.RunSynchronous(gd2.Protocol, make(core.Input, n), l0, 100*capacity)
 			if err != nil {
-				return t, err
+				return err
 			}
-			stabilizes = stabilizes && r.Status == sim.LabelStable
+			stableTrials[trial] = r.Status == sim.LabelStable
+			return nil
+		})
+		if err != nil {
+			return t, err
+		}
+		stabilizes := true
+		for _, ok := range stableTrials {
+			stabilizes = stabilizes && ok
 		}
 		t.Rows = append(t.Rows, []string{
 			"EQ", itoa(n), itoa(capacity), btoa(oscillates), btoa(stabilizes),
@@ -610,15 +642,23 @@ func E9CommHardness() (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	rng := rand.New(rand.NewPCG(3, 1))
-	disjStab := true
-	for trial := 0; trial < 20; trial++ {
-		l0 := core.RandomLabeling(gd2.Protocol.Graph(), gd2.Protocol.Space(), rng)
+	disjTrials := make([]bool, 20)
+	err = par.ForEach(len(disjTrials), 0, func(trial int) error {
+		trng := rand.New(rand.NewPCG(3, uint64(1+trial)))
+		l0 := core.RandomLabeling(gd2.Protocol.Graph(), gd2.Protocol.Space(), trng)
 		r, err := sim.RunSynchronous(gd2.Protocol, make(core.Input, n), l0, 5000)
 		if err != nil {
-			return t, err
+			return err
 		}
-		disjStab = disjStab && r.Status == sim.LabelStable
+		disjTrials[trial] = r.Status == sim.LabelStable
+		return nil
+	})
+	if err != nil {
+		return t, err
+	}
+	disjStab := true
+	for _, ok := range disjTrials {
+		disjStab = disjStab && ok
 	}
 	t.Rows = append(t.Rows, []string{
 		"DISJ", itoa(n), itoa(q), btoa(intersectOsc), btoa(disjStab),

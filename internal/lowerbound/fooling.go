@@ -12,6 +12,7 @@ import (
 
 	"stateless/internal/core"
 	"stateless/internal/graph"
+	"stateless/internal/par"
 )
 
 // Pair is one element (x, y) of a fooling set, with x ∈ {0,1}^m the inputs
@@ -40,7 +41,10 @@ type FoolingSet struct {
 func (s *FoolingSet) Size() int { return len(s.Pairs) }
 
 // Verify checks Definition 6.1 against f exhaustively over all pairs of
-// elements. n is the total input length.
+// elements. n is the total input length. The O(|S|²) crossover check fans
+// out over the worker pool (|S| is exponential for the paper's sets); f
+// may be called concurrently and must be safe for that — the package's
+// EqualityFn and MajorityFn are pure.
 func (s *FoolingSet) Verify(f func(core.Input) core.Bit, n int) error {
 	if len(s.Pairs) == 0 {
 		return errors.New("lowerbound: empty fooling set")
@@ -54,7 +58,7 @@ func (s *FoolingSet) Verify(f func(core.Input) core.Bit, n int) error {
 			return fmt.Errorf("lowerbound: pair %d evaluates to %d, want %d", i, f(p.Join()), s.Value)
 		}
 	}
-	for i := range s.Pairs {
+	return par.ForEach(len(s.Pairs), 0, func(i int) error {
 		for j := i + 1; j < len(s.Pairs); j++ {
 			cross1 := Pair{X: s.Pairs[i].X, Y: s.Pairs[j].Y}
 			cross2 := Pair{X: s.Pairs[j].X, Y: s.Pairs[i].Y}
@@ -63,8 +67,8 @@ func (s *FoolingSet) Verify(f func(core.Input) core.Bit, n int) error {
 					i, j, s.Value)
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Cut describes the directed cut around the node subset {0..m-1}: C is the

@@ -1,0 +1,69 @@
+// Package par provides the bounded-parallelism helper the sweep drivers
+// (sim.RoundComplexity, internal/experiments, internal/lowerbound) fan out
+// with. It is errgroup-shaped but stdlib-only and deterministic: every
+// index runs exactly once and the returned error is always the one from
+// the lowest failing index, regardless of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n <= 0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(0..n-1) on up to workers goroutines (workers <= 0 means
+// GOMAXPROCS) and returns the error of the lowest failing index, or nil.
+// fn may be called concurrently; indices are claimed in increasing order.
+// All indices run even after a failure, so results are deterministic.
+func ForEach(n, workers int, fn func(i int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+
+		errIdx = n
+		err    error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, err = i, e
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}

@@ -1,0 +1,63 @@
+package par_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"stateless/internal/par"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 500
+		var counts [n]atomic.Int32
+		if err := par.ForEach(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachLowestIndexError is the determinism contract: no matter how
+// goroutines interleave, the error returned is the one from the lowest
+// failing index.
+func TestForEachLowestIndexError(t *testing.T) {
+	fail := map[int]bool{7: true, 123: true, 400: true}
+	for _, workers := range []int{1, 4, 9} {
+		for rep := 0; rep < 20; rep++ {
+			err := par.ForEach(500, workers, func(i int) error {
+				if fail[i] {
+					return fmt.Errorf("boom at %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "boom at 7" {
+				t.Fatalf("workers=%d rep=%d: got %v, want boom at 7", workers, rep, err)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := par.ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if par.Workers(5) != 5 {
+		t.Fatal("explicit worker count must pass through")
+	}
+	if par.Workers(0) < 1 || par.Workers(-1) < 1 {
+		t.Fatal("non-positive counts must resolve to at least one worker")
+	}
+}

@@ -1,0 +1,165 @@
+package sim_test
+
+import (
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/schedule"
+	"stateless/internal/sim"
+)
+
+// Regression tests for buffer aliasing in Result construction: Run swaps
+// its cur/next configurations every step (cur, next = next, cur), and
+// classifyCycle swaps probe/next during replay, so every Result field must
+// be a defensive copy — a Result that aliases an internal buffer would let
+// callers corrupt later runs (or, symmetrically, would change under the
+// caller's feet had the engine kept running). Each test mutates everything
+// a returned Result exposes and re-checks that (a) the caller's initial
+// labeling is untouched and (b) a rerun with identical arguments is
+// bit-identical to a pristine first run.
+
+// flipRing builds a 3-node bidirectional ring where each node re-emits the
+// negation of its first incoming label and outputs that label: under the
+// synchronous schedule the uniform labelings flip globally every round, so
+// the run oscillates forever.
+func flipRing(t *testing.T) *core.Protocol {
+	t.Helper()
+	p, err := core.NewUniformProtocol(graph.BidirectionalRing(3), core.BinarySpace(),
+		func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			for i := range out {
+				out[i] = 1 - in[0]
+			}
+			return core.Bit(in[0])
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// orClique converges to all-ones labels from any start: label stable.
+func orClique(t *testing.T, n int) *core.Protocol {
+	t.Helper()
+	p, err := core.NewUniformProtocol(graph.Clique(n), core.BinarySpace(),
+		func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			any := core.Label(input)
+			for _, l := range in {
+				any |= l
+			}
+			for i := range out {
+				out[i] = any
+			}
+			return core.Bit(any)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mutateResult(res *sim.Result) {
+	for i := range res.Final.Labels {
+		res.Final.Labels[i] ^= 1
+	}
+	for i := range res.Final.Outputs {
+		res.Final.Outputs[i] ^= 1
+	}
+	for i := range res.Outputs {
+		res.Outputs[i] ^= 1
+	}
+}
+
+func sameResult(a, b sim.Result) bool {
+	if a.Status != b.Status || a.Steps != b.Steps || a.StabilizedAt != b.StabilizedAt || a.CycleLen != b.CycleLen {
+		return false
+	}
+	if !a.Final.Labels.Equal(b.Final.Labels) {
+		return false
+	}
+	for i := range a.Final.Outputs {
+		if a.Final.Outputs[i] != b.Final.Outputs[i] {
+			return false
+		}
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i] != b.Outputs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestResultDoesNotAliasEngineBuffers(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *core.Protocol
+		x    core.Input
+		l0   core.Labeling
+		opts sim.Options
+		want sim.Status
+	}{
+		{
+			name: "label-stable",
+			p:    orClique(t, 4),
+			x:    core.Input{0, 1, 0, 0},
+			l0:   core.Labeling{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+			opts: sim.Options{MaxSteps: 100, DetectCycles: true},
+			want: sim.LabelStable,
+		},
+		{
+			name: "oscillating-cycle",
+			p:    flipRing(t),
+			x:    core.Input{0, 0, 0},
+			l0:   core.Labeling{0, 0, 0, 0, 0, 0},
+			opts: sim.Options{MaxSteps: 100, DetectCycles: true},
+			want: sim.Oscillating,
+		},
+		{
+			name: "exhausted",
+			p:    flipRing(t),
+			x:    core.Input{0, 0, 0},
+			l0:   core.Labeling{0, 0, 0, 0, 0, 0},
+			opts: sim.Options{MaxSteps: 50},
+			want: sim.Exhausted,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched := scheduleFor(tc.p)
+			l0Snapshot := tc.l0.Clone()
+
+			pristine, err := sim.Run(tc.p, tc.x, tc.l0, sched, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pristine.Status != tc.want {
+				t.Fatalf("status %v, want %v", pristine.Status, tc.want)
+			}
+
+			victim, err := sim.Run(tc.p, tc.x, tc.l0, sched, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Result.Final and Result.Outputs must not share backing arrays
+			// with each other either: flipping Final.Outputs then comparing
+			// Outputs against pristine would catch that below.
+			mutateResult(&victim)
+
+			if !tc.l0.Equal(l0Snapshot) {
+				t.Fatalf("mutating the Result corrupted the caller's initial labeling: %v", tc.l0)
+			}
+			rerun, err := sim.Run(tc.p, tc.x, tc.l0, sched, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResult(pristine, rerun) {
+				t.Fatalf("rerun diverged after mutating a previous Result:\n first %+v\n rerun %+v", pristine, rerun)
+			}
+		})
+	}
+}
+
+func scheduleFor(p *core.Protocol) schedule.Schedule {
+	return schedule.Synchronous{N: p.Graph().N()}
+}

@@ -4,14 +4,23 @@
 // of every reaction function) and output stabilization (every node's
 // output sequence converges, while labels may keep changing — e.g. the
 // D-counter keeps counting forever underneath a stable output).
+//
+// Cycle detection keys configurations by the packed encoding of
+// internal/enc (zero per-step string allocation), and RoundComplexity fans
+// its inputs × labelings sweep out over a bounded worker pool whose size
+// is controlled by the Workers argument of RoundComplexityWorkers (the
+// plain RoundComplexity uses GOMAXPROCS).
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"stateless/internal/core"
+	"stateless/internal/enc"
 	"stateless/internal/graph"
+	"stateless/internal/par"
 	"stateless/internal/schedule"
 )
 
@@ -100,6 +109,12 @@ func Run(p *core.Protocol, x core.Input, l0 core.Labeling, sched schedule.Schedu
 	if len(l0) != g.M() {
 		return Result{}, fmt.Errorf("sim: labeling length %d, want %d edges", len(l0), g.M())
 	}
+	// Packed cycle keys are injective only for in-space labels.
+	for i, l := range l0 {
+		if !p.Space().Contains(l) {
+			return Result{}, fmt.Errorf("sim: l0[%d] = %d outside %v", i, l, p.Space())
+		}
+	}
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
@@ -111,16 +126,25 @@ func Run(p *core.Protocol, x core.Input, l0 core.Labeling, sched schedule.Schedu
 
 	cur := core.NewConfig(g, l0)
 	next := cur.Clone()
-	var seen map[string]int
+	// Cycle detection interns packed labelings: no per-step allocation and
+	// ⌈log₂|Σ|⌉ bits per edge instead of an 8-bytes-per-edge string key.
+	var (
+		codec    *enc.Codec
+		seen     *enc.Table
+		seenStep []int
+		keyBuf   []uint64
+	)
 	if opts.DetectCycles {
-		seen = make(map[string]int)
+		codec = enc.NewLabelCodec(p.Space(), g.M())
+		seen = enc.NewTable(codec.Words(), 256)
 	}
 	active := make([]graph.NodeID, 0, g.N())
 	lastLabelChange := 0
+	stepper := core.NewStepper(p)
 
 	for t := 1; t <= maxSteps; t++ {
 		active = sched.Activated(t, active[:0])
-		changed := core.Step(p, x, cur, &next, active)
+		changed := stepper.Step(x, cur, &next, active)
 		cur, next = next, cur
 		if opts.Trace != nil {
 			opts.Trace(t, cur)
@@ -131,7 +155,7 @@ func Run(p *core.Protocol, x core.Input, l0 core.Labeling, sched schedule.Schedu
 		// Label stabilization: check global fixed point (not just "this
 		// step's activations changed nothing": inactive nodes might still
 		// want to move).
-		if !changed && core.IsStable(p, x, cur.Labels) {
+		if !changed && stepper.IsStable(x, cur.Labels) {
 			return Result{
 				Status:       LabelStable,
 				Steps:        t,
@@ -141,11 +165,12 @@ func Run(p *core.Protocol, x core.Input, l0 core.Labeling, sched schedule.Schedu
 			}, nil
 		}
 		if opts.DetectCycles && t%period == 0 {
-			key := cur.Labels.Key()
-			if prev, ok := seen[key]; ok {
-				return classifyCycle(p, x, cur, sched, t, prev, period)
+			keyBuf = codec.PackLabels(cur.Labels, keyBuf)
+			id, fresh := seen.Intern(keyBuf)
+			if !fresh {
+				return classifyCycle(p, x, cur, sched, t, seenStep[id], period)
 			}
-			seen[key] = t
+			seenStep = append(seenStep, t)
 		}
 	}
 	return Result{
@@ -168,9 +193,10 @@ func classifyCycle(p *core.Protocol, x core.Input, cur core.Config, sched schedu
 	active := make([]graph.NodeID, 0, g.N())
 	stableOutputs := true
 	replay := replaySchedule{inner: sched, offset: t}
+	stepper := core.NewStepper(p)
 	for k := 1; k <= cycleLen; k++ {
 		active = replay.Activated(k, active[:0])
-		core.Step(p, x, probe, &next, active)
+		stepper.Step(x, probe, &next, active)
 		probe, next = next, probe
 		for v := range ref {
 			if probe.Outputs[v] != ref[v] {
@@ -236,27 +262,45 @@ func ComputesOn(p *core.Protocol, x core.Input, l0 core.Labeling, want core.Bit,
 // RoundComplexity measures max over the given initial labelings and inputs
 // of the synchronous stabilization time — an empirical estimate of R_n
 // (§2.3). The check function receives each result for validation and may
-// be nil.
+// be nil. The sweep fans out over all inputs × labelings on GOMAXPROCS
+// workers; see RoundComplexityWorkers for an explicit Workers knob.
 func RoundComplexity(p *core.Protocol, inputs []core.Input, labelings []core.Labeling, maxSteps int, check func(core.Input, Result) error) (int, error) {
-	worst := 0
-	for _, x := range inputs {
-		for _, l0 := range labelings {
-			res, err := RunSynchronous(p, x, l0, maxSteps)
-			if err != nil {
-				return 0, err
-			}
-			if res.Status != LabelStable && res.Status != OutputStable {
-				return 0, fmt.Errorf("sim: input %s: %v after %d steps", x, res.Status, res.Steps)
-			}
-			if check != nil {
-				if err := check(x, res); err != nil {
-					return 0, err
-				}
-			}
-			if res.StabilizedAt > worst {
-				worst = res.StabilizedAt
+	return RoundComplexityWorkers(p, inputs, labelings, maxSteps, 0, check)
+}
+
+// RoundComplexityWorkers is RoundComplexity on a bounded worker pool of the
+// given size (workers <= 0 means GOMAXPROCS). check, when non-nil, may be
+// called concurrently and must be safe for that; the returned error is
+// deterministic (lowest failing sweep index) regardless of worker count.
+func RoundComplexityWorkers(p *core.Protocol, inputs []core.Input, labelings []core.Labeling, maxSteps, workers int, check func(core.Input, Result) error) (int, error) {
+	var (
+		mu    sync.Mutex
+		worst int
+	)
+	err := par.ForEach(len(inputs)*len(labelings), workers, func(i int) error {
+		x := inputs[i/len(labelings)]
+		l0 := labelings[i%len(labelings)]
+		res, err := RunSynchronous(p, x, l0, maxSteps)
+		if err != nil {
+			return err
+		}
+		if res.Status != LabelStable && res.Status != OutputStable {
+			return fmt.Errorf("sim: input %s: %v after %d steps", x, res.Status, res.Steps)
+		}
+		if check != nil {
+			if err := check(x, res); err != nil {
+				return err
 			}
 		}
+		mu.Lock()
+		if res.StabilizedAt > worst {
+			worst = res.StabilizedAt
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return worst, nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"stateless/internal/core"
+	"stateless/internal/enc"
 	"stateless/internal/graph"
 )
 
@@ -81,30 +82,34 @@ func (p *Protocol) RunSynchronous(init []core.Label, maxSteps int) (RunResult, e
 	}
 	cur := append([]core.Label(nil), init...)
 	next := make([]core.Label, p.N)
-	seen := map[string]int{key(cur): 0}
+	// Packed-label cycle keys (internal/enc), like the stateless engines.
+	// Packing is injective only for in-space labels, so reject stray init
+	// values up front (reactions are contractually in-space).
+	for i, l := range cur {
+		if uint64(l) >= p.Size {
+			return RunResult{}, fmt.Errorf("stateful: init[%d] = %d outside Σ of size %d", i, l, p.Size)
+		}
+	}
+	codec := enc.NewLabelCodec(core.MustLabelSpace(p.Size), p.N)
+	seen := enc.NewTable(codec.Words(), 256)
+	var keyBuf []uint64
+	seenStep := []int{0}
+	keyBuf = codec.PackLabels(cur, keyBuf)
+	seen.Intern(keyBuf)
 	for t := 1; t <= maxSteps; t++ {
 		p.Step(cur, next, all)
 		cur, next = next, cur
 		if p.IsStable(cur) {
 			return RunResult{Stable: true, Steps: t, Final: append([]core.Label(nil), cur...)}, nil
 		}
-		k := key(cur)
-		if prev, ok := seen[k]; ok {
-			return RunResult{Steps: t, CycleLen: t - prev, Final: append([]core.Label(nil), cur...)}, nil
+		keyBuf = codec.PackLabels(cur, keyBuf)
+		id, fresh := seen.Intern(keyBuf)
+		if !fresh {
+			return RunResult{Steps: t, CycleLen: t - seenStep[id], Final: append([]core.Label(nil), cur...)}, nil
 		}
-		seen[k] = t
+		seenStep = append(seenStep, t)
 	}
 	return RunResult{Steps: maxSteps, Final: append([]core.Label(nil), cur...)}, nil
-}
-
-func key(cfg []core.Label) string {
-	buf := make([]byte, 0, 8*len(cfg))
-	for _, l := range cfg {
-		for s := 0; s < 64; s += 8 {
-			buf = append(buf, byte(l>>uint(s)))
-		}
-	}
-	return string(buf)
 }
 
 // StringOscillation is an instance of the String-Oscillation problem

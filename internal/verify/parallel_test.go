@@ -1,0 +1,105 @@
+package verify_test
+
+import (
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/verify"
+)
+
+// TestParallelVerifierDeterministic checks that the sharded parallel
+// explorer is a drop-in for the sequential one: on every crosscheck gadget
+// (the same randomly tabulated protocols crosscheck_test.go uses), the
+// verdict, the explored-state count, and the canonical witness agree for
+// Workers ∈ {1, 4}, for both label and output stabilization.
+func TestParallelVerifierDeterministic(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Ring(3),
+		graph.BidirectionalRing(3),
+		graph.Clique(3),
+		graph.Path(3),
+	}
+	for gi, g := range graphs {
+		for seed := uint64(0); seed < 12; seed++ {
+			p := randomProtocol(t, g, seed+uint64(gi)*100)
+			x := core.InputFromUint(seed, g.N())
+			for r := 1; r <= 2; r++ {
+				for _, output := range []bool{false, true} {
+					decide := verify.LabelRStabilizingOpts
+					if output {
+						decide = verify.OutputRStabilizingOpts
+					}
+					seq, err := decide(p, x, r, verify.Options{Limit: 1 << 22, Workers: 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+					par4, err := decide(p, x, r, verify.Options{Limit: 1 << 22, Workers: 4})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if seq.Stabilizing != par4.Stabilizing || seq.States != par4.States {
+						t.Fatalf("graph %d seed %d r=%d output=%v: workers=1 gave (%v,%d), workers=4 gave (%v,%d)",
+							gi, seed, r, output, seq.Stabilizing, seq.States, par4.Stabilizing, par4.States)
+					}
+					if (seq.Witness == nil) != (par4.Witness == nil) {
+						t.Fatalf("graph %d seed %d r=%d output=%v: witness presence differs", gi, seed, r, output)
+					}
+					if seq.Witness == nil {
+						continue
+					}
+					for k := 0; k < 2; k++ {
+						if !seq.Witness.Labelings[k].Equal(par4.Witness.Labelings[k]) {
+							t.Fatalf("graph %d seed %d r=%d output=%v: witness labeling %d differs: %v vs %v",
+								gi, seed, r, output, k, seq.Witness.Labelings[k], par4.Witness.Labelings[k])
+						}
+						if !bitsEq(seq.Witness.Outputs[k], par4.Witness.Outputs[k]) {
+							t.Fatalf("graph %d seed %d r=%d output=%v: witness outputs %d differ: %v vs %v",
+								gi, seed, r, output, k, seq.Witness.Outputs[k], par4.Witness.Outputs[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func bitsEq(a, b []core.Bit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWitnessDistinct sanity-checks the canonical witness: its two
+// labelings (or output vectors) must actually differ.
+func TestWitnessDistinct(t *testing.T) {
+	g := graph.Clique(3)
+	found := 0
+	for seed := uint64(0); seed < 30 && found < 3; seed++ {
+		p := randomProtocol(t, g, seed)
+		x := core.InputFromUint(seed, 3)
+		dec, err := verify.LabelRStabilizingOpts(p, x, 2, verify.Options{Limit: 1 << 22, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Stabilizing {
+			continue
+		}
+		found++
+		if dec.Witness == nil {
+			t.Fatalf("seed %d: non-stabilizing without witness", seed)
+		}
+		if dec.Witness.Labelings[0].Equal(dec.Witness.Labelings[1]) {
+			t.Fatalf("seed %d: witness labelings identical: %v", seed, dec.Witness.Labelings)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no non-stabilizing protocol found among 30 seeds; test is vacuous")
+	}
+}

@@ -9,20 +9,43 @@
 // exponential communication (Theorem 4.1), so this brute force is the best
 // one can hope for in general; it is used on the paper's small gadgets to
 // verify the theorems' iff-properties empirically.
+//
+// The engine keys states by a packed bit encoding (internal/enc) — no
+// per-state string allocation — and shards the reachability exploration
+// across a worker pool. Options.Workers controls the pool size (default
+// GOMAXPROCS); verdicts, state counts, and witnesses are deterministic
+// regardless of worker count, because witnesses are canonicalized by the
+// packed-label order rather than by discovery order.
 package verify
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"stateless/internal/core"
+	"stateless/internal/enc"
 	"stateless/internal/graph"
+	"stateless/internal/par"
 )
 
 // ErrStateSpaceTooLarge is returned when the (estimated or actual) number
 // of explored states exceeds the caller's limit.
 var ErrStateSpaceTooLarge = errors.New("verify: state space exceeds limit")
+
+// DefaultLimit is the state-space bound used when Options.Limit is zero.
+const DefaultLimit = 1 << 24
+
+// Options configures a stabilization check.
+type Options struct {
+	// Limit bounds the number of explored states (0 means DefaultLimit).
+	Limit int
+	// Workers is the exploration worker-pool size (0 means GOMAXPROCS).
+	// The verdict and witness are identical for every worker count.
+	Workers int
+}
 
 // Witness describes why a protocol is not r-stabilizing: a reachable cycle
 // in the states-graph along which the labeling (or output vector) changes.
@@ -97,196 +120,419 @@ func tooMany(size uint64, m, limit int) bool {
 	return math.IsInf(total, 0)
 }
 
-// stateGraph is the explored portion of the Theorem 3.1 states-graph.
-type stateGraph struct {
-	p *core.Protocol
-	x core.Input
-	r int
+// ---------------------------------------------------------------------------
+// Parallel packed states-graph exploration.
 
-	// trackOutputs extends the state with the output vector, for output-
-	// stabilization checks.
-	trackOutputs bool
+// shardBits fixes the ownership-hash shard count (2^shardBits dedup tables,
+// each behind its own mutex); more shards than workers keeps lock
+// contention negligible.
+const shardBits = 6
 
-	ids    map[string]int
-	states []state
-	adj    [][]int32
+// stateEdge is one states-graph transition, in global (pre-compaction) IDs.
+type stateEdge struct{ src, dst int32 }
+
+// tableShard is one ownership shard: a mutex-protected intern table.
+// Global state IDs encode (local index << shardBits) | shard.
+type tableShard struct {
+	mu  sync.Mutex
+	tab *enc.Table
 }
 
-type state struct {
-	labels    core.Labeling
-	countdown []uint8
-	outputs   []core.Bit // nil unless trackOutputs
+// workQueue is an unbounded multi-producer multi-consumer queue of global
+// state IDs with distributed-termination accounting: pending counts states
+// discovered but not yet fully expanded; when it hits zero the exploration
+// is complete and all poppers drain out.
+type workQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []int32
+	pending int
+	err     error
 }
 
-func (sg *stateGraph) key(s state) string {
-	buf := make([]byte, 0, 8*len(s.labels)+len(s.countdown)+len(s.outputs))
-	buf = append(buf, []byte(s.labels.Key())...)
-	buf = append(buf, s.countdown...)
-	for _, b := range s.outputs {
-		buf = append(buf, byte(b))
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue) push(id int32) {
+	q.mu.Lock()
+	q.items = append(q.items, id)
+	q.pending++
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *workQueue) pop() (int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && q.pending > 0 && q.err == nil {
+		q.cond.Wait()
 	}
-	return string(buf)
-}
-
-// intern returns the state's ID, adding it if new (second return true).
-func (sg *stateGraph) intern(s state) (int, bool) {
-	k := sg.key(s)
-	if id, ok := sg.ids[k]; ok {
-		return id, false
+	if q.err != nil || len(q.items) == 0 {
+		return 0, false
 	}
-	id := len(sg.states)
-	sg.ids[k] = id
-	sg.states = append(sg.states, s)
-	sg.adj = append(sg.adj, nil)
+	id := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
 	return id, true
 }
 
-// successors computes all admissible transitions from state id and records
-// them in adj, returning newly discovered state IDs.
-func (sg *stateGraph) successors(id int, limit int) ([]int, error) {
-	s := sg.states[id]
-	g := sg.p.Graph()
+func (q *workQueue) taskDone() {
+	q.mu.Lock()
+	q.pending--
+	if q.pending == 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+func (q *workQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *workQueue) failure() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// explorer holds the shared state of one parallel states-graph search.
+type explorer struct {
+	p            *core.Protocol
+	x            core.Input
+	r            int
+	trackOutputs bool
+	limit        int
+
+	codec  *enc.Codec
+	shards []tableShard
+	queue  *workQueue
+	total  atomic.Int64
+
+	// edges holds one transition buffer per worker; each worker publishes
+	// its buffer at exit and the merge happens after the join.
+	edges [][]stateEdge
+
+	// Compaction (filled after exploration): dense IDs assign shard s the
+	// contiguous range [base[s], base[s]+len_s).
+	base []int32
+}
+
+const maxLocalID = (1 << (31 - shardBits)) - 1
+
+func newExplorer(p *core.Protocol, x core.Input, r int, trackOutputs bool, limit int) *explorer {
+	g := p.Graph()
+	e := &explorer{
+		p:            p,
+		x:            x,
+		r:            r,
+		trackOutputs: trackOutputs,
+		limit:        limit,
+		codec:        enc.NewStateCodec(p.Space(), g.M(), g.N(), r, trackOutputs),
+		shards:       make([]tableShard, 1<<shardBits),
+		queue:        newWorkQueue(),
+	}
+	for i := range e.shards {
+		e.shards[i].tab = enc.NewTable(e.codec.Words(), 64)
+	}
+	return e
+}
+
+// intern adds the packed state to its ownership shard and returns its
+// global ID and whether it is new.
+func (e *explorer) intern(key []uint64) (int32, bool, error) {
+	// Shard by the HIGH hash bits: the shard table probes from the low
+	// bits, so taking ownership from them too would leave every key in a
+	// shard sharing its low bits and collapse the home slots to every
+	// 64th position (measured ~3x slower interning).
+	owner := enc.Hash(key) >> (64 - shardBits)
+	s := &e.shards[owner]
+	s.mu.Lock()
+	local, fresh := s.tab.Intern(key)
+	s.mu.Unlock()
+	if local > maxLocalID {
+		return 0, false, fmt.Errorf("%w: shard overflow", ErrStateSpaceTooLarge)
+	}
+	gid := int32(local)<<shardBits | int32(owner)
+	if fresh {
+		if int(e.total.Add(1)) > e.limit {
+			return 0, false, fmt.Errorf("%w: > %d states", ErrStateSpaceTooLarge, e.limit)
+		}
+	}
+	return gid, fresh, nil
+}
+
+// readState copies state gid's packed words into buf (the shard arena may
+// be reallocated concurrently, so the copy happens under the shard lock).
+func (e *explorer) readState(gid int32, buf []uint64) []uint64 {
+	s := &e.shards[gid&(1<<shardBits-1)]
+	s.mu.Lock()
+	src := s.tab.At(int(gid >> shardBits))
+	if cap(buf) < len(src) {
+		buf = make([]uint64, len(src))
+	}
+	buf = buf[:len(src)]
+	copy(buf, src)
+	s.mu.Unlock()
+	return buf
+}
+
+// scratch is one worker's reusable buffers; expansion does zero per-state
+// heap allocation once these are warm.
+type scratch struct {
+	stepper *core.Stepper
+	words   []uint64
+	key     []uint64
+	cd      []uint8
+	cdNext  []uint8
+	cur     core.Config
+	next    core.Config
+	active  []graph.NodeID
+	free    []int
+	edges   []stateEdge
+}
+
+func (e *explorer) newScratch() *scratch {
+	g := e.p.Graph()
+	n, m := g.N(), g.M()
+	return &scratch{
+		stepper: core.NewStepper(e.p),
+		cd:      make([]uint8, n),
+		cdNext:  make([]uint8, n),
+		cur:     core.Config{Labels: make(core.Labeling, m), Outputs: make([]core.Bit, n)},
+		next:    core.Config{Labels: make(core.Labeling, m), Outputs: make([]core.Bit, n)},
+		active:  make([]graph.NodeID, 0, n),
+		free:    make([]int, 0, n),
+	}
+}
+
+// expand computes all admissible transitions out of state gid, interning
+// successors and queueing the newly discovered ones.
+func (e *explorer) expand(gid int32, sc *scratch) error {
+	g := e.p.Graph()
 	n := g.N()
+	sc.words = e.readState(gid, sc.words)
+	sc.cur.Labels = e.codec.UnpackLabels(sc.words, sc.cur.Labels)
+	sc.cd = e.codec.UnpackCountdown(sc.words, sc.cd)
+	if e.trackOutputs {
+		sc.cur.Outputs = e.codec.UnpackOutputs(sc.words, sc.cur.Outputs)
+	}
+
 	forced := 0
 	forcedMask := 0
-	for i, c := range s.countdown {
+	for i, c := range sc.cd {
 		if c == 1 {
 			forced++
 			forcedMask |= 1 << i
 		}
 	}
-	var fresh []int
-	free := make([]int, 0, n)
+	sc.free = sc.free[:0]
 	for i := 0; i < n; i++ {
 		if forcedMask&(1<<i) == 0 {
-			free = append(free, i)
+			sc.free = append(sc.free, i)
 		}
 	}
-	cur := core.Config{Labels: s.labels, Outputs: outputsOrZero(s.outputs, n)}
-	next := core.Config{Labels: make(core.Labeling, g.M()), Outputs: make([]core.Bit, n)}
-	active := make([]graph.NodeID, 0, n)
 	// Enumerate subsets of the free nodes; the activation set is
 	// forced ∪ subset, and must be nonempty.
-	for sub := 0; sub < (1 << len(free)); sub++ {
+	for sub := 0; sub < 1<<len(sc.free); sub++ {
 		if forced == 0 && sub == 0 {
 			continue
 		}
-		active = active[:0]
+		sc.active = sc.active[:0]
 		for i := 0; i < n; i++ {
 			if forcedMask&(1<<i) != 0 {
-				active = append(active, graph.NodeID(i))
+				sc.active = append(sc.active, graph.NodeID(i))
 			}
 		}
-		for bi, i := range free {
+		for bi, i := range sc.free {
 			if sub&(1<<bi) != 0 {
-				active = append(active, graph.NodeID(i))
+				sc.active = append(sc.active, graph.NodeID(i))
 			}
 		}
-		core.Step(sg.p, sg.x, cur, &next, active)
-		ns := state{
-			labels:    next.Labels.Clone(),
-			countdown: make([]uint8, n),
+		sc.stepper.Step(e.x, sc.cur, &sc.next, sc.active)
+		for i := range sc.cdNext {
+			sc.cdNext[i] = sc.cd[i] - 1
 		}
-		if sg.trackOutputs {
-			ns.outputs = append([]core.Bit(nil), next.Outputs...)
+		for _, v := range sc.active {
+			sc.cdNext[v] = uint8(e.r)
 		}
-		inT := make([]bool, n)
-		for _, v := range active {
-			inT[v] = true
-		}
-		for i := 0; i < n; i++ {
-			if inT[i] {
-				ns.countdown[i] = uint8(sg.r)
-			} else {
-				ns.countdown[i] = s.countdown[i] - 1
-			}
-		}
-		nid, isNew := sg.intern(ns)
-		sg.adj[id] = append(sg.adj[id], int32(nid))
-		if isNew {
-			if len(sg.states) > limit {
-				return nil, fmt.Errorf("%w: > %d states", ErrStateSpaceTooLarge, limit)
-			}
-			fresh = append(fresh, nid)
-		}
-	}
-	return fresh, nil
-}
-
-func outputsOrZero(o []core.Bit, n int) []core.Bit {
-	if o != nil {
-		return o
-	}
-	return make([]core.Bit, n)
-}
-
-// explore builds the full reachable states-graph from all initial vertices
-// (ℓ, r^n), ℓ ∈ Σ^E.
-func (sg *stateGraph) explore(limit int) error {
-	g := sg.p.Graph()
-	n, m := g.N(), g.M()
-	if tooMany(sg.p.Space().Size(), m, limit) {
-		return fmt.Errorf("%w: |Σ|^m too large", ErrStateSpaceTooLarge)
-	}
-	var frontier []int
-	err := EnumerateLabelings(sg.p.Space(), m, func(l core.Labeling) error {
-		cd := make([]uint8, n)
-		for i := range cd {
-			cd[i] = uint8(sg.r)
-		}
-		s := state{labels: l.Clone(), countdown: cd}
-		if sg.trackOutputs {
-			// Initial outputs: apply one synchronous activation's worth of
-			// outputs is NOT done — initial outputs are arbitrary; we use
-			// zeros. Cycle analysis only inspects states on cycles, where
-			// every node has been activated (countdowns force it), so the
-			// initial vector washes out.
-			s.outputs = make([]core.Bit, n)
-		}
-		id, isNew := sg.intern(s)
-		if isNew {
-			if len(sg.states) > limit {
-				return fmt.Errorf("%w: > %d states", ErrStateSpaceTooLarge, limit)
-			}
-			frontier = append(frontier, id)
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	for len(frontier) > 0 {
-		id := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		fresh, err := sg.successors(id, limit)
+		sc.key = e.codec.Pack(sc.next.Labels, sc.cdNext, sc.next.Outputs, sc.key)
+		nid, fresh, err := e.intern(sc.key)
 		if err != nil {
 			return err
 		}
-		frontier = append(frontier, fresh...)
+		sc.edges = append(sc.edges, stateEdge{src: gid, dst: nid})
+		if fresh {
+			e.queue.push(nid)
+		}
 	}
 	return nil
 }
 
-// sccs runs iterative Tarjan over the explored graph.
-func (sg *stateGraph) sccs() [][]int {
+// seed interns the initial vertices (ℓ, r^n) for every ℓ ∈ Σ^E.
+func (e *explorer) seed() error {
+	g := e.p.Graph()
+	n, m := g.N(), g.M()
+	if tooMany(e.p.Space().Size(), m, e.limit) {
+		return fmt.Errorf("%w: |Σ|^m too large", ErrStateSpaceTooLarge)
+	}
+	cd := make([]uint8, n)
+	for i := range cd {
+		cd[i] = uint8(e.r)
+	}
+	// Initial outputs are arbitrary in the model; we use zeros. Cycle
+	// analysis only inspects states on cycles, where every node has been
+	// activated (countdowns force it), so the initial vector washes out.
+	outs := make([]core.Bit, n)
+	var key []uint64
+	return EnumerateLabelings(e.p.Space(), m, func(l core.Labeling) error {
+		key = e.codec.Pack(l, cd, outs, key)
+		gid, fresh, err := e.intern(key)
+		if err != nil {
+			return err
+		}
+		if fresh {
+			e.queue.push(gid)
+		}
+		return nil
+	})
+}
+
+// explore runs the frontier-sharded BFS to a fixed point.
+func (e *explorer) explore(workers int) error {
+	if err := e.seed(); err != nil {
+		return err
+	}
+	workers = par.Workers(workers)
+	e.edges = make([][]stateEdge, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			sc := e.newScratch()
+			// Publishing into e.edges[w] is race-free: each worker owns its
+			// slot and wg.Wait orders the writes before the merge.
+			defer func() { e.edges[w] = sc.edges }()
+			for {
+				gid, ok := e.queue.pop()
+				if !ok {
+					return
+				}
+				err := e.expand(gid, sc)
+				e.queue.taskDone()
+				if err != nil {
+					e.queue.fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return e.queue.failure()
+}
+
+// compact assigns dense IDs (shard ranges laid out back to back) and
+// returns the total state count.
+func (e *explorer) compact() int {
+	e.base = make([]int32, len(e.shards)+1)
+	total := 0
+	for s := range e.shards {
+		e.base[s] = int32(total)
+		total += e.shards[s].tab.Len()
+	}
+	e.base[len(e.shards)] = int32(total)
+	return total
+}
+
+func (e *explorer) dense(gid int32) int32 {
+	return e.base[gid&(1<<shardBits-1)] + gid>>shardBits
+}
+
+// wordsOf returns the packed words of the state with dense ID d. Only safe
+// after exploration finished (no concurrent arena growth).
+func (e *explorer) wordsOf(d int32) []uint64 {
+	lo, hi := 0, len(e.shards)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if e.base[mid] <= d {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return e.shards[lo].tab.At(int(d - e.base[lo]))
+}
+
+// csr is the explored states-graph in compressed sparse row form.
+type csr struct {
+	rowStart []int32
+	dst      []int32
+}
+
+func (e *explorer) buildCSR(total int) csr {
+	nEdges := 0
+	for _, buf := range e.edges {
+		nEdges += len(buf)
+	}
+	rowStart := make([]int32, total+1)
+	for _, buf := range e.edges {
+		for _, ed := range buf {
+			rowStart[e.dense(ed.src)+1]++
+		}
+	}
+	for i := 0; i < total; i++ {
+		rowStart[i+1] += rowStart[i]
+	}
+	dst := make([]int32, nEdges)
+	fill := make([]int32, total)
+	for _, buf := range e.edges {
+		for _, ed := range buf {
+			s := e.dense(ed.src)
+			dst[rowStart[s]+fill[s]] = e.dense(ed.dst)
+			fill[s]++
+		}
+	}
+	return csr{rowStart: rowStart, dst: dst}
+}
+
+func (g csr) row(v int32) []int32 { return g.dst[g.rowStart[v]:g.rowStart[v+1]] }
+
+func (g csr) hasSelfLoop(v int32) bool {
+	for _, u := range g.row(v) {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sccs runs iterative Tarjan over the CSR graph.
+func (g csr) sccs() [][]int32 {
 	const unvisited = -1
-	nStates := len(sg.states)
-	index := make([]int, nStates)
-	low := make([]int, nStates)
+	nStates := len(g.rowStart) - 1
+	index := make([]int32, nStates)
+	low := make([]int32, nStates)
 	onStack := make([]bool, nStates)
 	for i := range index {
 		index[i] = unvisited
 	}
 	var (
-		stack   []int
-		comps   [][]int
-		counter int
+		stack   []int32
+		comps   [][]int32
+		counter int32
 	)
 	type frame struct {
-		v    int
-		next int
+		v    int32
+		next int32
 	}
-	for start := 0; start < nStates; start++ {
+	for start := int32(0); start < int32(nStates); start++ {
 		if index[start] != unvisited {
 			continue
 		}
@@ -297,8 +543,9 @@ func (sg *stateGraph) sccs() [][]int {
 		onStack[start] = true
 		for len(callStack) > 0 {
 			f := &callStack[len(callStack)-1]
-			if f.next < len(sg.adj[f.v]) {
-				u := int(sg.adj[f.v][f.next])
+			row := g.row(f.v)
+			if int(f.next) < len(row) {
+				u := row[f.next]
 				f.next++
 				if index[u] == unvisited {
 					index[u], low[u] = counter, counter
@@ -320,7 +567,7 @@ func (sg *stateGraph) sccs() [][]int {
 				}
 			}
 			if low[v] == index[v] {
-				var comp []int
+				var comp []int32
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
@@ -337,14 +584,102 @@ func (sg *stateGraph) sccs() [][]int {
 	return comps
 }
 
-// hasSelfLoop reports whether state v has an edge to itself.
-func (sg *stateGraph) hasSelfLoop(v int) bool {
-	for _, u := range sg.adj[v] {
-		if int(u) == v {
-			return true
+// stabilization runs the full check: explore, SCC-decompose, and scan every
+// cycle-bearing component for two states whose compared section (labels or
+// outputs) differs. The witness, when one exists, is the canonically
+// smallest violating pair under the packed order, so it is independent of
+// worker count and discovery order.
+func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opts Options) (Decision, error) {
+	if r < 1 {
+		return Decision{}, errors.New("verify: r must be ≥ 1")
+	}
+	if r > 255 {
+		// Countdowns are stored as uint8; larger r would silently wrap.
+		return Decision{}, errors.New("verify: r must be ≤ 255")
+	}
+	limit := opts.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	if limit > 1<<30 {
+		limit = 1 << 30 // packed state IDs are int32
+	}
+	e := newExplorer(p, x, r, trackOutputs, limit)
+	if err := e.explore(opts.Workers); err != nil {
+		return Decision{}, err
+	}
+	total := e.compact()
+	sg := e.buildCSR(total)
+
+	equal := e.codec.LabelsEqual
+	compare := e.codec.CompareLabels
+	if trackOutputs {
+		equal = e.codec.OutputsEqual
+		compare = e.codec.CompareOutputs
+	}
+
+	var bestA, bestB []uint64
+	for _, comp := range sg.sccs() {
+		if len(comp) == 1 && !sg.hasSelfLoop(comp[0]) {
+			continue // no cycle through this component
+		}
+		violating := false
+		first := e.wordsOf(comp[0])
+		for _, v := range comp[1:] {
+			if !equal(e.wordsOf(v), first) {
+				violating = true
+				break
+			}
+		}
+		if !violating {
+			continue
+		}
+		// Canonical witness inside this SCC: the smallest state section
+		// paired with the smallest section distinct from it.
+		minA := e.wordsOf(comp[0])
+		for _, v := range comp[1:] {
+			if w := e.wordsOf(v); compare(w, minA) < 0 {
+				minA = w
+			}
+		}
+		var minB []uint64
+		for _, v := range comp {
+			w := e.wordsOf(v)
+			if equal(w, minA) {
+				continue
+			}
+			if minB == nil || compare(w, minB) < 0 {
+				minB = w
+			}
+		}
+		if bestA == nil || less2(compare, minA, minB, bestA, bestB) {
+			bestA, bestB = minA, minB
 		}
 	}
-	return false
+	if bestA == nil {
+		return Decision{Stabilizing: true, States: total}, nil
+	}
+	w := &Witness{}
+	if trackOutputs {
+		w.Outputs = [2][]core.Bit{
+			e.codec.UnpackOutputs(bestA, nil),
+			e.codec.UnpackOutputs(bestB, nil),
+		}
+	} else {
+		w.Labelings = [2]core.Labeling{
+			e.codec.UnpackLabels(bestA, nil),
+			e.codec.UnpackLabels(bestB, nil),
+		}
+	}
+	return Decision{Stabilizing: false, States: total, Witness: w}, nil
+}
+
+// less2 orders witness candidate pairs lexicographically.
+func less2(compare func(a, b []uint64) int, a1, b1, a2, b2 []uint64) bool {
+	if c := compare(a1, a2); c != 0 {
+		return c < 0
+	}
+	return compare(b1, b2) < 0
 }
 
 // LabelRStabilizing decides whether p (with input x) is label
@@ -358,36 +693,12 @@ func (sg *stateGraph) hasSelfLoop(v int) bool {
 // fails to label r-stabilize iff some SCC containing a cycle contains two
 // distinct labelings.
 func LabelRStabilizing(p *core.Protocol, x core.Input, r int, limit int) (Decision, error) {
-	if r < 1 {
-		return Decision{}, errors.New("verify: r must be ≥ 1")
-	}
-	sg := &stateGraph{
-		p:   p,
-		x:   x,
-		r:   r,
-		ids: make(map[string]int),
-	}
-	if err := sg.explore(limit); err != nil {
-		return Decision{}, err
-	}
-	for _, comp := range sg.sccs() {
-		if len(comp) == 1 && !sg.hasSelfLoop(comp[0]) {
-			continue // no cycle through this component
-		}
-		first := sg.states[comp[0]].labels
-		for _, v := range comp[1:] {
-			if !sg.states[v].labels.Equal(first) {
-				return Decision{
-					Stabilizing: false,
-					States:      len(sg.states),
-					Witness: &Witness{
-						Labelings: [2]core.Labeling{first.Clone(), sg.states[v].labels.Clone()},
-					},
-				}, nil
-			}
-		}
-	}
-	return Decision{Stabilizing: true, States: len(sg.states)}, nil
+	return LabelRStabilizingOpts(p, x, r, Options{Limit: limit})
+}
+
+// LabelRStabilizingOpts is LabelRStabilizing with explicit engine options.
+func LabelRStabilizingOpts(p *core.Protocol, x core.Input, r int, opts Options) (Decision, error) {
+	return stabilization(p, x, r, false, opts)
 }
 
 // OutputRStabilizing decides whether p (with input x) is output
@@ -395,52 +706,12 @@ func LabelRStabilizing(p *core.Protocol, x core.Input, r int, limit int) (Decisi
 // schedule from every initial labeling. Same SCC criterion, applied to the
 // output vectors of states on cycles.
 func OutputRStabilizing(p *core.Protocol, x core.Input, r int, limit int) (Decision, error) {
-	if r < 1 {
-		return Decision{}, errors.New("verify: r must be ≥ 1")
-	}
-	sg := &stateGraph{
-		p:            p,
-		x:            x,
-		r:            r,
-		trackOutputs: true,
-		ids:          make(map[string]int),
-	}
-	if err := sg.explore(limit); err != nil {
-		return Decision{}, err
-	}
-	for _, comp := range sg.sccs() {
-		if len(comp) == 1 && !sg.hasSelfLoop(comp[0]) {
-			continue
-		}
-		first := sg.states[comp[0]].outputs
-		for _, v := range comp[1:] {
-			if !bitsEqual(sg.states[v].outputs, first) {
-				return Decision{
-					Stabilizing: false,
-					States:      len(sg.states),
-					Witness: &Witness{
-						Outputs: [2][]core.Bit{
-							append([]core.Bit(nil), first...),
-							append([]core.Bit(nil), sg.states[v].outputs...),
-						},
-					},
-				}, nil
-			}
-		}
-	}
-	return Decision{Stabilizing: true, States: len(sg.states)}, nil
+	return OutputRStabilizingOpts(p, x, r, Options{Limit: limit})
 }
 
-func bitsEqual(a, b []core.Bit) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+// OutputRStabilizingOpts is OutputRStabilizing with explicit engine options.
+func OutputRStabilizingOpts(p *core.Protocol, x core.Input, r int, opts Options) (Decision, error) {
+	return stabilization(p, x, r, true, opts)
 }
 
 // StablePerNodeLabelings enumerates the stable labelings of protocols in
