@@ -81,11 +81,41 @@ func BenchmarkE12_AsyncRuntime(b *testing.B) {
 
 // Micro-benchmarks for the engine itself.
 
+// benchRingProtocol is the E1-style ring workload: a node-uniform
+// saturating counter on the unidirectional n-ring over Σ = {0,1,2}
+// (out = min(in+1, 2); output bit = parity). Uniformity plus the all-zero
+// input makes the rotation quotient applicable, so the benchmark can
+// compare store backends and symmetry settings on one protocol.
+func benchRingProtocol(b *testing.B, n int) *core.Protocol {
+	b.Helper()
+	p, err := core.NewUniformProtocol(graph.Ring(n), core.MustLabelSpace(3),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			v := in[0]
+			if v < 2 {
+				v++
+			}
+			out[0] = v
+			return core.Bit(v & 1)
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
 // BenchmarkVerifyStatesGraph measures the Theorem 3.1 states-graph engine
-// directly — the packed-state throughput in states/second — on the E1
-// workload (Example 1's clique at the adversarial fairness r = n−1, the
-// heaviest verifier call in the reproduction). Run with -benchmem: the
-// packed encoding does zero per-state string allocation.
+// directly — the packed-state throughput in states/second.
+//
+// The clique variants run the historical E1 workload (Example 1's clique
+// at the adversarial fairness r = n−1) across worker counts; the ring
+// variants run the E1-style ring workload across the store backends
+// (dense direct-indexed vs sharded hash) and symmetry quotienting (on =
+// all n rotations, off = raw states-graph). states/s counts *explored*
+// states, so the symmetry speedup shows up in ns/op (same verdict from
+// ~n× fewer states), while the dense-store speedup shows up in states/s
+// directly. scripts/bench.sh turns this benchmark into BENCH_verify.json
+// and CI guards it against regressions. Run with -benchmem: exploration
+// does zero per-state string allocation.
 func BenchmarkVerifyStatesGraph(b *testing.B) {
 	p, err := protocols.Example1Clique(4)
 	if err != nil {
@@ -93,12 +123,43 @@ func BenchmarkVerifyStatesGraph(b *testing.B) {
 	}
 	x := make(core.Input, 4)
 	for _, workers := range []int{1, 4} {
-		b.Run("workers="+itoa(workers), func(b *testing.B) {
+		b.Run("clique/workers="+itoa(workers), func(b *testing.B) {
 			b.ReportAllocs()
 			states := 0
 			for i := 0; i < b.N; i++ {
 				dec, err := verify.LabelRStabilizingOpts(p, x, 3,
 					verify.Options{Limit: 1 << 24, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states += dec.States
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+		})
+	}
+
+	// n = 6, r = 3: 24-bit states (2 MiB dense bitset), ~32k raw states
+	// quotienting to ~5.4k canonical ones under the 6 rotations.
+	const ringN = 6
+	ring := benchRingProtocol(b, ringN)
+	rx := make(core.Input, ringN)
+	for _, cfg := range []struct {
+		name  string
+		store verify.StoreKind
+		sym   verify.SymmetryMode
+	}{
+		{"ring/store=hash/sym=off", verify.StoreHash, verify.SymmetryOff},
+		{"ring/store=hash/sym=on", verify.StoreHash, verify.SymmetryOn},
+		{"ring/store=dense/sym=off", verify.StoreDense, verify.SymmetryOff},
+		{"ring/store=dense/sym=on", verify.StoreDense, verify.SymmetryOn},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			states := 0
+			for i := 0; i < b.N; i++ {
+				dec, err := verify.LabelRStabilizingOpts(ring, rx, 3, verify.Options{
+					Limit: 1 << 24, Store: cfg.store, Symmetry: cfg.sym,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	experiments            # run all
-//	experiments -only E4   # run one
+//	experiments             # run all
+//	experiments -only E4    # run one
+//	experiments -workers 2  # bound every experiment's worker pools
 package main
 
 import (
@@ -28,12 +29,14 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment (e.g. E4)")
+	workers := fs.Int("workers", 0, "worker-pool size for sweeps and the verifier (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
+	experiments.Workers = *workers
 	for _, e := range experiments.All() {
 		if *only != "" && e.ID != *only {
 			continue

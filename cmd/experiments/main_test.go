@@ -20,6 +20,26 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+// The -workers flag must plumb through to the experiment worker pools and
+// not change results: E1 (which fans out the verifier and trial sweeps)
+// must render identically for 1 and 3 workers.
+func TestRunWorkersFlag(t *testing.T) {
+	outs := make([]string, 2)
+	for i, w := range []string{"1", "3"} {
+		var out bytes.Buffer
+		if err := run([]string{"-only", "E1", "-workers", w}, &out); err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = out.String()
+	}
+	if !strings.Contains(outs[0], "E1") {
+		t.Fatalf("expected an E1 table, got:\n%s", outs[0])
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("E1 output depends on worker count:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
 func TestRunUnknownFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-nope"}, &out); err == nil {

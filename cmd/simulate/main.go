@@ -7,6 +7,7 @@
 //	simulate -protocol tree-xor -n 6 -input 101101 -schedule sync
 //	simulate -protocol dcounter -n 7 -d 12
 //	simulate -protocol bgp-disagree -schedule roundrobin
+//	simulate -protocol example1 -n 6 -trials 64 -workers 8   # transient-fault sweep
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"stateless/internal/core"
 	"stateless/internal/counter"
 	"stateless/internal/graph"
+	"stateless/internal/par"
 	"stateless/internal/protocols"
 	"stateless/internal/schedule"
 	"stateless/internal/sim"
@@ -46,6 +48,8 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "seed for random schedule/labeling")
 		maxSteps = fs.Int("steps", 100000, "maximum steps")
 		randInit = fs.Bool("random-init", false, "start from a random labeling (transient fault)")
+		trials   = fs.Int("trials", 1, "run this many seeded random-init trials (a transient-fault sweep) instead of one run")
+		workers  = fs.Int("workers", 0, "worker-pool size for -trials sweeps (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -93,6 +97,9 @@ func run(args []string, stdout io.Writer) error {
 		opts.DetectCycles = true
 		opts.CyclePeriod = period
 	}
+	if *trials > 1 {
+		return runSweep(stdout, p, x, *trials, *workers, *seed, *schedStr, *name, *r, defaultSchedule, opts)
+	}
 	res, err := sim.Run(p, x, l0, sched, opts)
 	if err != nil {
 		return err
@@ -104,6 +111,53 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%d", y)
 	}
 	fmt.Fprintln(stdout)
+	return nil
+}
+
+// runSweep runs a transient-fault sweep: trials seeded random initial
+// labelings (and, for seeded schedules, one schedule per trial), fanned out
+// over the worker pool, reporting the status histogram and the worst
+// stabilization time. Results are deterministic for a fixed seed regardless
+// of the worker count.
+func runSweep(stdout io.Writer, p *core.Protocol, x core.Input, trials, workers int, seed uint64,
+	schedKind, name string, r int, adversarial [][]graph.NodeID, opts sim.Options) error {
+	g := p.Graph()
+	results := make([]sim.Result, trials)
+	err := par.ForEach(trials, workers, func(i int) error {
+		trialSeed := seed + uint64(i)
+		sched, period, err := buildSchedule(schedKind, name, g.N(), r, trialSeed, adversarial)
+		if err != nil {
+			return err
+		}
+		o := opts
+		o.DetectCycles = period > 0
+		o.CyclePeriod = period
+		rng := rand.New(rand.NewPCG(trialSeed, trialSeed))
+		l0 := core.RandomLabeling(g, p.Space(), rng)
+		res, err := sim.Run(p, x, l0, sched, o)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	counts := map[sim.Status]int{}
+	worst := -1
+	for _, res := range results {
+		counts[res.Status]++
+		if (res.Status == sim.LabelStable || res.Status == sim.OutputStable) && res.StabilizedAt > worst {
+			worst = res.StabilizedAt
+		}
+	}
+	fmt.Fprintf(stdout, "trials=%d workers=%d worst_stabilized_at=%d\n", trials, par.Workers(workers), worst)
+	for _, st := range []sim.Status{sim.LabelStable, sim.OutputStable, sim.Oscillating, sim.Exhausted} {
+		if counts[st] > 0 {
+			fmt.Fprintf(stdout, "status=%v count=%d\n", st, counts[st])
+		}
+	}
 	return nil
 }
 

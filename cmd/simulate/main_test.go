@@ -20,6 +20,9 @@ func TestRunAllProtocols(t *testing.T) {
 		{"-protocol", "bgp-good", "-schedule", "rfair", "-steps", "2000"},
 		{"-protocol", "bgp-disagree", "-random-init"},
 		{"-protocol", "bgp-bad", "-steps", "1000"},
+		{"-protocol", "example1", "-n", "4", "-trials", "8", "-workers", "2"},
+		{"-protocol", "tree-xor", "-n", "5", "-input", "10110", "-trials", "6", "-workers", "3", "-schedule", "roundrobin"},
+		{"-protocol", "bgp-good", "-schedule", "rfair", "-steps", "2000", "-trials", "4", "-workers", "2"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
@@ -31,6 +34,26 @@ func TestRunAllProtocols(t *testing.T) {
 				t.Fatalf("%v: no status line in output:\n%s", args, out.String())
 			}
 		})
+	}
+}
+
+// A -trials sweep must be deterministic for a fixed seed regardless of the
+// worker count.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	outs := make([]string, 2)
+	for i, w := range []string{"1", "4"} {
+		var out bytes.Buffer
+		args := []string{"-protocol", "example1", "-n", "4", "-trials", "12", "-workers", w, "-seed", "7"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		// Strip the workers=N echo, which legitimately differs.
+		s := out.String()
+		s = s[strings.Index(s, "worst_stabilized_at"):]
+		outs[i] = s
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("sweep output differs across worker counts:\n%s\nvs\n%s", outs[0], outs[1])
 	}
 }
 

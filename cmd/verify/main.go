@@ -66,7 +66,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	x := make(core.Input, p.Graph().N())
 
-	stable, err := verify.StablePerNodeLabelings(p, x, *limit)
+	stable, err := verify.StablePerNodeLabelingsWorkers(p, x, *limit, *workers)
 	if err == nil {
 		fmt.Fprintf(stdout, "stable labelings (per-node-uniform): %d\n", len(stable))
 		if len(stable) >= 2 {

@@ -25,6 +25,7 @@ import (
 
 	"stateless/internal/core"
 	"stateless/internal/enc"
+	"stateless/internal/explore"
 	"stateless/internal/stateful"
 )
 
@@ -127,7 +128,7 @@ func (p *Protocol) RunSynchronous(init Config, maxSteps int) (RunResult, error) 
 		space = p.MemSize
 	}
 	codec := enc.NewLabelCodec(core.MustLabelSpace(space), 2*p.N)
-	seen := enc.NewTable(codec.Words(), 256)
+	seen := explore.NewSeen(codec, 256)
 	joint := make(core.Labeling, 0, 2*p.N)
 	var keyBuf []uint64
 	pack := func(c Config) []uint64 {

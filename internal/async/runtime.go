@@ -18,6 +18,7 @@ import (
 
 	"stateless/internal/core"
 	"stateless/internal/enc"
+	"stateless/internal/explore"
 	"stateless/internal/graph"
 	"stateless/internal/schedule"
 	"stateless/internal/sim"
@@ -173,16 +174,16 @@ func (r *Runtime) Run(sched schedule.Schedule, opts sim.Options) (sim.Result, er
 		period = 1
 	}
 	// Packed-label cycle keys, mirroring internal/sim: no per-step string
-	// allocation.
+	// allocation, direct-indexed for narrow labelings (explore.NewSeen).
 	var (
 		codec    *enc.Codec
-		seen     *enc.Table
+		seen     *explore.Seen
 		seenStep []int
 		keyBuf   []uint64
 	)
 	if opts.DetectCycles {
 		codec = enc.NewLabelCodec(r.p.Space(), r.p.Graph().M())
-		seen = enc.NewTable(codec.Words(), 256)
+		seen = explore.NewSeen(codec, 256)
 	}
 	g := r.p.Graph()
 	active := make([]graph.NodeID, 0, g.N())

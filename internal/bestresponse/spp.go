@@ -11,8 +11,10 @@ package bestresponse
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"stateless/internal/core"
+	"stateless/internal/enc"
 	"stateless/internal/graph"
 )
 
@@ -67,33 +69,87 @@ func (s *SPP) Validate() error {
 	return nil
 }
 
-// pathID enumerates announcements: 0 = no route, 1 = the destination's
+// pathTable enumerates announcements: 0 = no route, 1 = the destination's
 // trivial path (0), 2+k = the k-th permitted path in a global enumeration.
+// Paths are keyed by a fixed-width bit packing interned in an enc.Table —
+// the last string-keyed hot path of the reproduction (the reaction
+// functions look up path IDs on every activation); packing into a stack
+// buffer plus an open-addressing lookup does zero allocation per lookup
+// and is safe for the concurrent sweeps that share one protocol.
 type pathTable struct {
-	ids   map[string]core.Label
-	paths []Path // indexed by id-2
+	slotBits uint // bits per slot, covering node IDs and the length prefix
+	words    int  // uint64 words per packed key
+	tab      *enc.Table
+	paths    []Path // indexed by id-2
 }
 
-func pathKey(p Path) string {
-	buf := make([]byte, 0, 4*len(p))
-	for _, v := range p {
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(buf)
-}
+// pathKeyWords bounds the packed key width (and thereby the caller stack
+// buffers): 8 words = 512 bits, e.g. 128 slots of 4 bits.
+const pathKeyWords = 8
 
-func (s *SPP) table() *pathTable {
-	t := &pathTable{ids: make(map[string]core.Label)}
+func (s *SPP) table() (*pathTable, error) {
+	maxLen := 1
 	for i := 1; i < s.N; i++ {
 		for _, p := range s.Permitted[i] {
-			k := pathKey(p)
-			if _, ok := t.ids[k]; !ok {
-				t.ids[k] = core.Label(2 + len(t.paths))
+			if len(p) > maxLen {
+				maxLen = len(p)
+			}
+		}
+	}
+	t := &pathTable{
+		slotBits: uint(bits.Len(uint(max(s.N-1, maxLen)))),
+	}
+	t.words = ((maxLen+1)*int(t.slotBits) + 63) / 64
+	if t.words > pathKeyWords {
+		return nil, fmt.Errorf("bestresponse: packed path key needs %d words (max %d)", t.words, pathKeyWords)
+	}
+	t.tab = enc.NewTable(t.words, 16)
+	for i := 1; i < s.N; i++ {
+		for _, p := range s.Permitted[i] {
+			var kb [pathKeyWords]uint64
+			if _, fresh := t.tab.Intern(t.pack(p, kb[:])); fresh {
 				t.paths = append(t.paths, p)
 			}
 		}
 	}
-	return t
+	return t, nil
+}
+
+// pack writes p's fixed-width key into kb: slot 0 holds len(p), slots 1..
+// the node IDs, the rest zero. Injective for node IDs < N and lengths ≤
+// the table's maximum.
+func (t *pathTable) pack(p Path, kb []uint64) []uint64 {
+	kb = kb[:t.words]
+	for i := range kb {
+		kb[i] = 0
+	}
+	putSlot(kb, 0, t.slotBits, uint64(len(p)))
+	for i, v := range p {
+		putSlot(kb, i+1, t.slotBits, uint64(v))
+	}
+	return kb
+}
+
+// putSlot writes the low width bits of v at slot index slot.
+func putSlot(kb []uint64, slot int, width uint, v uint64) {
+	off := slot * int(width)
+	v &= (1 << width) - 1
+	wi, sh := off>>6, uint(off&63)
+	kb[wi] |= v << sh
+	if sh+width > 64 {
+		kb[wi+1] |= v >> (64 - sh)
+	}
+}
+
+// idOf returns the announcement label of a permitted path (2 + table ID),
+// or false when the path is not in the table. kb is the caller's packing
+// buffer (stack-allocated in the reactions, so lookups do not allocate).
+func (t *pathTable) idOf(p Path, kb []uint64) (core.Label, bool) {
+	id, ok := t.tab.Lookup(t.pack(p, kb))
+	if !ok {
+		return 0, false
+	}
+	return core.Label(2 + id), true
 }
 
 // announcement ids for special labels.
@@ -111,7 +167,10 @@ func (s *SPP) Protocol() (*core.Protocol, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	t := s.table()
+	t, err := s.table()
+	if err != nil {
+		return nil, err
+	}
 	g := graph.Clique(s.N)
 	space := core.MustLabelSpace(uint64(2 + len(t.paths)))
 	reactions := make([]core.Reaction, s.N)
@@ -135,20 +194,22 @@ func (s *SPP) Protocol() (*core.Protocol, error) {
 				}
 				return in[u]
 			}
+			var kb [pathKeyWords]uint64
 			for _, p := range perm {
 				next := p[1]
 				var wantTail core.Label
 				if next == 0 {
 					wantTail = destRoute
 				} else {
-					id, ok := t.ids[pathKey(p.Tail())]
+					id, ok := t.idOf(p.Tail(), kb[:])
 					if !ok {
 						continue // tail not a permitted path of the next hop
 					}
 					wantTail = id
 				}
 				if at(next) == wantTail {
-					emit(out, t.ids[pathKey(p)])
+					id, _ := t.idOf(p, kb[:]) // p is permitted, always present
+					emit(out, id)
 					return 1
 				}
 			}

@@ -25,6 +25,7 @@ type Protocol struct {
 	g         *graph.Graph
 	space     LabelSpace
 	reactions []Reaction
+	uniform   bool
 }
 
 // Construction errors.
@@ -68,8 +69,22 @@ func NewUniformProtocol(g *graph.Graph, space LabelSpace, r Reaction) (*Protocol
 	for i := range reactions {
 		reactions[i] = r
 	}
-	return NewProtocol(g, space, reactions)
+	p, err := NewProtocol(g, space, reactions)
+	if err != nil {
+		return nil, err
+	}
+	p.uniform = true
+	return p, nil
 }
+
+// Uniform reports whether the protocol was built with NewUniformProtocol,
+// i.e. every node provably runs the same reaction function. Symmetry
+// quotienting (internal/explore) uses this as its soundness gate: only a
+// node-uniform protocol is guaranteed to commute with the graph's
+// order-preserving automorphisms. Closures cannot be compared, so protocols
+// built via NewProtocol report false even if their reactions happen to be
+// identical.
+func (p *Protocol) Uniform() bool { return p.uniform }
 
 // Graph returns the protocol's graph.
 func (p *Protocol) Graph() *graph.Graph { return p.g }

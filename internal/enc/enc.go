@@ -65,6 +65,40 @@ func NewStateCodec(space core.LabelSpace, m, n, maxCountdown int, outputs bool) 
 // Words returns the number of uint64 words one packed state occupies.
 func (c *Codec) Words() int { return c.words }
 
+// Bits returns the total packed width of one state in bits. Store selection
+// keys on it: states at most explore.DenseMaxBits wide fit a direct-indexed
+// bitset store in which the packed value is the state ID.
+func (c *Codec) Bits() int { return c.totalBits }
+
+// M returns the number of label fields (edges) in the layout.
+func (c *Codec) M() int { return c.m }
+
+// N returns the number of countdown fields (nodes) in the layout.
+func (c *Codec) N() int { return c.n }
+
+// HasOutputs reports whether the layout carries an output section.
+func (c *Codec) HasOutputs() bool { return c.outputs }
+
+// Field geometry accessors. The symmetry quotient (internal/explore) uses
+// them to precompute bit-permutation tables that map a packed state to its
+// image under a graph automorphism without unpacking.
+
+// LabelFieldBits returns the width of one label field.
+func (c *Codec) LabelFieldBits() int { return int(c.labelBits) }
+
+// CountdownFieldBits returns the width of one countdown field.
+func (c *Codec) CountdownFieldBits() int { return int(c.cdBits) }
+
+// LabelOffset returns the bit offset of label field i.
+func (c *Codec) LabelOffset(i int) int { return i * int(c.labelBits) }
+
+// CountdownOffset returns the bit offset of countdown field i.
+func (c *Codec) CountdownOffset(i int) int { return c.labelPrefixBits + i*int(c.cdBits) }
+
+// OutputOffset returns the bit offset of output bit i. Only valid on codecs
+// constructed with outputs = true.
+func (c *Codec) OutputOffset(i int) int { return c.labelPrefixBits + c.n*int(c.cdBits) + i }
+
 func maskOf(width uint) uint64 {
 	if width >= 64 {
 		return ^uint64(0)
@@ -326,6 +360,20 @@ func keysEqual(a, b []uint64) bool {
 		}
 	}
 	return true
+}
+
+// Lookup returns the ID of key if it is already interned, without inserting.
+func (t *Table) Lookup(key []uint64) (int, bool) {
+	h := Hash(key)
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			return 0, false
+		}
+		if keysEqual(t.At(int(s-1)), key) {
+			return int(s - 1), true
+		}
+	}
 }
 
 // Intern returns the dense 0-based ID of key, adding it if new (second

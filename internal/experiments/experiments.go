@@ -32,6 +32,12 @@ import (
 	"stateless/internal/verify"
 )
 
+// Workers bounds the worker pools every experiment fans out on (trial
+// sweeps, round-complexity sweeps, the states-graph verifier); ≤ 0 means
+// GOMAXPROCS. cmd/experiments sets it from its -workers flag before
+// running; it must not be changed while experiments are in flight.
+var Workers int
+
 // Table is one experiment's regenerated rows.
 type Table struct {
 	ID     string
@@ -115,7 +121,7 @@ func E1CliqueStabilization() (Table, error) {
 			return t, err
 		}
 		x := make(core.Input, n)
-		stable, err := verify.StablePerNodeLabelings(p, x, 1<<22)
+		stable, err := verify.StablePerNodeLabelingsWorkers(p, x, 1<<22, Workers)
 		if err != nil {
 			return t, err
 		}
@@ -134,13 +140,13 @@ func E1CliqueStabilization() (Table, error) {
 		lowOK, highStab := true, true
 		if n <= 4 {
 			for r := 1; r < n-1; r++ {
-				dec, err := verify.LabelRStabilizing(p, x, r, 1<<24)
+				dec, err := verify.LabelRStabilizingOpts(p, x, r, verify.Options{Limit: 1 << 24, Workers: Workers})
 				if err != nil {
 					return t, err
 				}
 				lowOK = lowOK && dec.Stabilizing
 			}
-			dec, err := verify.LabelRStabilizing(p, x, n-1, 1<<24)
+			dec, err := verify.LabelRStabilizingOpts(p, x, n-1, verify.Options{Limit: 1 << 24, Workers: Workers})
 			if err != nil {
 				return t, err
 			}
@@ -151,7 +157,7 @@ func E1CliqueStabilization() (Table, error) {
 			// out over the worker pool with one seeded RNG per trial.
 			method = "sampled"
 			stable := make([]bool, 50)
-			err := par.ForEach(len(stable), 0, func(trial int) error {
+			err := par.ForEach(len(stable), Workers, func(trial int) error {
 				rng := rand.New(rand.NewPCG(uint64(n), uint64(5+trial)))
 				l0 := core.RandomLabeling(p.Graph(), p.Space(), rng)
 				r, err := sim.RunSynchronous(p, x, l0, 1000)
@@ -215,7 +221,7 @@ func E2TreeProtocol() (Table, error) {
 		rng := rand.New(rand.NewPCG(9, 9))
 		labelings := []core.Labeling{core.UniformLabeling(c.g, 0),
 			core.RandomLabeling(c.g, p.Space(), rng)}
-		worst, err := sim.RoundComplexity(p, inputs, labelings, 20*n, func(x core.Input, res sim.Result) error {
+		worst, err := sim.RoundComplexityWorkers(p, inputs, labelings, 20*n, Workers, func(x core.Input, res sim.Result) error {
 			for _, y := range res.Outputs {
 				if y != xor(x) {
 					return fmt.Errorf("wrong output on %s", x)
@@ -382,7 +388,7 @@ func E5BPRing() (Table, error) {
 		n := prog.NumInputs
 		g := rp.Protocol().Graph()
 		match := make([]bool, 1<<uint(n))
-		err = par.ForEach(len(match), 0, func(v int) error {
+		err = par.ForEach(len(match), Workers, func(v int) error {
 			x := core.InputFromUint(uint64(v), n)
 			got, err := settleRing(rp.Protocol(), x, core.UniformLabeling(g, 0), rp.SettleBound())
 			if err != nil {
@@ -455,7 +461,7 @@ func E6CircuitRing() (Table, error) {
 		g := rp.Protocol().Graph()
 		n := cc.NumInputs
 		match := make([]bool, 1<<uint(n))
-		err = par.ForEach(len(match), 0, func(v int) error {
+		err = par.ForEach(len(match), Workers, func(v int) error {
 			x := core.InputFromUint(uint64(v), n)
 			full, err := rp.Inputs(x)
 			if err != nil {
@@ -584,7 +590,7 @@ func E9CommHardness() (Table, error) {
 			return t, err
 		}
 		stableTrials := make([]bool, 20)
-		err = par.ForEach(len(stableTrials), 0, func(trial int) error {
+		err = par.ForEach(len(stableTrials), Workers, func(trial int) error {
 			trng := rand.New(rand.NewPCG(uint64(n), uint64(78+trial)))
 			l0 := core.RandomLabeling(gd2.Protocol.Graph(), gd2.Protocol.Space(), trng)
 			r, err := sim.RunSynchronous(gd2.Protocol, make(core.Input, n), l0, 100*capacity)
@@ -643,7 +649,7 @@ func E9CommHardness() (Table, error) {
 		return t, err
 	}
 	disjTrials := make([]bool, 20)
-	err = par.ForEach(len(disjTrials), 0, func(trial int) error {
+	err = par.ForEach(len(disjTrials), Workers, func(trial int) error {
 		trng := rand.New(rand.NewPCG(3, uint64(1+trial)))
 		l0 := core.RandomLabeling(gd2.Protocol.Graph(), gd2.Protocol.Space(), trng)
 		r, err := sim.RunSynchronous(gd2.Protocol, make(core.Input, n), l0, 5000)
@@ -785,7 +791,7 @@ func E11BestResponse() (Table, error) {
 		}
 		verdict := "n/a (state space)"
 		if c.verify {
-			dec, err := verify.LabelRStabilizing(p, x, n-1, 1<<24)
+			dec, err := verify.LabelRStabilizingOpts(p, x, n-1, verify.Options{Limit: 1 << 24, Workers: Workers})
 			if err == nil {
 				verdict = btoa(dec.Stabilizing)
 			}

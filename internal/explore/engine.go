@@ -1,0 +1,152 @@
+package explore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stateless/internal/par"
+)
+
+// Emit interns a successor key into the run's store, enforces the state
+// budget, and queues the state for expansion when it is new. Safe for
+// concurrent use.
+type Emit func(key []uint64) (id int32, fresh bool, err error)
+
+// Expander expands one state: given its ID and packed words it must call
+// emit once per successor. One Expander is created per worker, so
+// implementations may keep scratch buffers without locking.
+type Expander interface {
+	Expand(id int32, words []uint64, emit Emit) error
+}
+
+// Config describes one BFS run.
+type Config struct {
+	// Store is the visited-state set (NewStore picks one from a codec).
+	Store Store
+	// Workers is the pool size (≤ 0 means GOMAXPROCS).
+	Workers int
+	// Limit bounds the number of distinct states; exceeding it aborts the
+	// run with an ErrLimit-wrapped error.
+	Limit int
+	// Seed interns the initial states through emit. It runs before the
+	// worker pool starts but may use emit concurrently (e.g. from a
+	// chunked Labelings sweep).
+	Seed func(emit Emit) error
+	// NewExpander builds worker w's expander.
+	NewExpander func(w int) Expander
+}
+
+// Run drives a parallel BFS to its fixed point: seed states and every key
+// emitted during expansion are interned exactly once, and every fresh state
+// is expanded exactly once. The visited set — and therefore the verdict of
+// any analysis over it — is independent of worker count and scheduling.
+func Run(cfg Config) error {
+	queue := newWorkQueue()
+	var total atomic.Int64
+	emit := func(key []uint64) (int32, bool, error) {
+		id, fresh, err := cfg.Store.Intern(key)
+		if err != nil {
+			return 0, false, err
+		}
+		if fresh {
+			if cfg.Limit > 0 && int(total.Add(1)) > cfg.Limit {
+				return 0, false, fmt.Errorf("%w: > %d states", ErrLimit, cfg.Limit)
+			}
+			queue.push(id)
+		}
+		return id, fresh, nil
+	}
+	if err := cfg.Seed(emit); err != nil {
+		return err
+	}
+	workers := par.Workers(cfg.Workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ex := cfg.NewExpander(w)
+			var words []uint64
+			for {
+				id, ok := queue.pop()
+				if !ok {
+					return
+				}
+				words = cfg.Store.Read(id, words)
+				err := ex.Expand(id, words, emit)
+				queue.taskDone()
+				if err != nil {
+					queue.fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return queue.failure()
+}
+
+// workQueue is an unbounded multi-producer multi-consumer queue of state
+// IDs with distributed-termination accounting: pending counts states
+// discovered but not yet fully expanded; when it hits zero the exploration
+// is complete and all poppers drain out.
+type workQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []int32
+	pending int
+	err     error
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue) push(id int32) {
+	q.mu.Lock()
+	q.items = append(q.items, id)
+	q.pending++
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *workQueue) pop() (int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && q.pending > 0 && q.err == nil {
+		q.cond.Wait()
+	}
+	if q.err != nil || len(q.items) == 0 {
+		return 0, false
+	}
+	id := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return id, true
+}
+
+func (q *workQueue) taskDone() {
+	q.mu.Lock()
+	q.pending--
+	if q.pending == 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+func (q *workQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *workQueue) failure() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}

@@ -1,0 +1,463 @@
+package explore
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/enc"
+	"stateless/internal/graph"
+)
+
+func TestDenseStoreInternReadRank(t *testing.T) {
+	d := NewDense(10)
+	keys := []uint64{0, 5, 1023, 512, 5, 0}
+	var ids []int32
+	for _, k := range keys {
+		id, fresh, err := d.Intern([]uint64{k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int32(k) {
+			t.Fatalf("dense ID of %d is %d, want the key itself", k, id)
+		}
+		if fresh != (len(ids) < 4) {
+			t.Fatalf("key %d at position %d: fresh=%v", k, len(ids), fresh)
+		}
+		ids = append(ids, id)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	if total := d.Compact(); total != 4 {
+		t.Fatalf("Compact = %d, want 4", total)
+	}
+	// Ranks follow numeric key order: 0, 5, 512, 1023.
+	wantRank := map[int32]int32{0: 0, 5: 1, 512: 2, 1023: 3}
+	for id, want := range wantRank {
+		if got := d.Rank(id); got != want {
+			t.Fatalf("Rank(%d) = %d, want %d", id, got, want)
+		}
+		words := d.WordsAt(want, nil)
+		if words[0] != uint64(id) {
+			t.Fatalf("WordsAt(%d) = %d, want %d", want, words[0], id)
+		}
+	}
+}
+
+func TestStoresAgree(t *testing.T) {
+	// Interning the same random key stream into both stores must yield the
+	// same visited set (same Len, same multiset of keys by rank).
+	rng := rand.New(rand.NewPCG(7, 7))
+	dense := NewDense(14)
+	hash := NewHash(1)
+	for i := 0; i < 4000; i++ {
+		k := []uint64{rng.Uint64N(1 << 14)}
+		_, df, err := dense.Intern(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, hf, err := hash.Intern(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if df != hf {
+			t.Fatalf("freshness disagrees on key %d at step %d", k[0], i)
+		}
+	}
+	dt, ht := dense.Compact(), hash.Compact()
+	if dt != ht {
+		t.Fatalf("dense total %d != hash total %d", dt, ht)
+	}
+	seen := map[uint64]bool{}
+	for r := int32(0); r < int32(ht); r++ {
+		seen[hash.WordsAt(r, nil)[0]] = true
+	}
+	for r := int32(0); r < int32(dt); r++ {
+		if !seen[dense.WordsAt(r, nil)[0]] {
+			t.Fatalf("dense state %d missing from hash store", dense.WordsAt(r, nil)[0])
+		}
+	}
+}
+
+func TestDenseStoreConcurrent(t *testing.T) {
+	d := NewDense(12)
+	const workers = 8
+	var wg sync.WaitGroup
+	freshCount := make([]int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 99))
+			key := make([]uint64, 1)
+			for i := 0; i < 10000; i++ {
+				key[0] = rng.Uint64N(1 << 12)
+				_, fresh, err := d.Intern(key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if fresh {
+					freshCount[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	totalFresh := 0
+	for _, c := range freshCount {
+		totalFresh += c
+	}
+	if totalFresh != d.Len() {
+		t.Fatalf("fresh interns %d != Len %d — a state was double-counted", totalFresh, d.Len())
+	}
+}
+
+// countingExpander walks a synthetic successor function over [0, n): state k
+// has successors (2k)%n and (2k+3)%n.
+type countingExpander struct {
+	n uint64
+	mu *sync.Mutex
+	expanded map[uint64]int
+}
+
+func (c *countingExpander) Expand(id int32, words []uint64, emit Emit) error {
+	c.mu.Lock()
+	c.expanded[words[0]]++
+	c.mu.Unlock()
+	key := make([]uint64, 1)
+	for _, succ := range []uint64{(2 * words[0]) % c.n, (2*words[0] + 3) % c.n} {
+		key[0] = succ
+		if _, _, err := emit(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestRunExpandsEveryStateOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		mu := &sync.Mutex{}
+		expanded := map[uint64]int{}
+		store := NewDense(10)
+		err := Run(Config{
+			Store:   store,
+			Workers: workers,
+			Limit:   1 << 10,
+			Seed: func(emit Emit) error {
+				_, _, err := emit([]uint64{1})
+				return err
+			},
+			NewExpander: func(int) Expander {
+				return &countingExpander{n: 1 << 10, mu: mu, expanded: expanded}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, c := range expanded {
+			if c != 1 {
+				t.Fatalf("workers=%d: state %d expanded %d times", workers, k, c)
+			}
+		}
+		if store.Len() != len(expanded) {
+			t.Fatalf("workers=%d: %d states interned, %d expanded", workers, store.Len(), len(expanded))
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	err := Run(Config{
+		Store:   NewDense(10),
+		Workers: 2,
+		Limit:   10,
+		Seed: func(emit Emit) error {
+			_, _, err := emit([]uint64{1})
+			return err
+		},
+		NewExpander: func(int) Expander {
+			return &countingExpander{n: 1 << 10, mu: &sync.Mutex{}, expanded: map[uint64]int{}}
+		},
+	})
+	if err == nil {
+		t.Fatal("expected the 10-state limit to trip")
+	}
+}
+
+func TestSeenSequentialIDs(t *testing.T) {
+	narrow := enc.NewLabelCodec(core.BinarySpace(), 8)   // 8 bits → direct
+	wide := enc.NewLabelCodec(core.MustLabelSpace(4), 40) // 80 bits → hash
+	for name, codec := range map[string]*enc.Codec{"direct": narrow, "hash": wide} {
+		s := NewSeen(codec, 16)
+		if name == "direct" && s.direct == nil {
+			t.Fatalf("%s: expected direct-indexed backing", name)
+		}
+		if name == "hash" && s.tab == nil {
+			t.Fatalf("%s: expected table backing", name)
+		}
+		var key []uint64
+		l := make(core.Labeling, codec.M())
+		ids := map[int]bool{}
+		for i := 0; i < 20; i++ {
+			l[0] = core.Label(i % 2)
+			l[1] = core.Label((i / 2) % 2)
+			key = codec.PackLabels(l, key)
+			id, fresh := s.Intern(key)
+			if fresh != !ids[id] {
+				t.Fatalf("%s: step %d: fresh=%v but id %d seen=%v", name, i, fresh, id, ids[id])
+			}
+			if fresh && id != s.Len()-1 {
+				t.Fatalf("%s: fresh id %d is not sequential (len %d)", name, id, s.Len())
+			}
+			ids[id] = true
+		}
+		if s.Len() != 4 {
+			t.Fatalf("%s: Len = %d, want 4", name, s.Len())
+		}
+	}
+}
+
+func TestLabelingsMatchesSequential(t *testing.T) {
+	space := core.MustLabelSpace(3)
+	const m = 8 // 6561 labelings → two chunks, exercising the odometer seek
+	var mu sync.Mutex
+	got := map[int][]uint64{}
+	err := Labelings(space, m, 5, func(chunk int, l core.Labeling) error {
+		v := uint64(0)
+		for i := m - 1; i >= 0; i-- {
+			v = v*3 + uint64(l[i])
+		}
+		mu.Lock()
+		got[chunk] = append(got[chunk], v)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flattened in chunk order the sweep must reproduce 0..3^7-1 exactly.
+	var flat []uint64
+	for c := 0; ; c++ {
+		vs, ok := got[c]
+		if !ok {
+			break
+		}
+		flat = append(flat, vs...)
+	}
+	if len(flat) != 6561 {
+		t.Fatalf("enumerated %d labelings, want 6561", len(flat))
+	}
+	for i, v := range flat {
+		if v != uint64(i) {
+			t.Fatalf("position %d holds labeling %d — order broken", i, v)
+		}
+	}
+}
+
+// ringSymmetry builds a Symmetry over the unidirectional n-ring with a
+// q-ary label space and countdowns in [0, r].
+func ringSymmetry(t *testing.T, n int, q uint64, r int, outputs bool) (*Symmetry, *enc.Codec) {
+	t.Helper()
+	g := graph.Ring(n)
+	p, err := core.NewUniformProtocol(g, core.MustLabelSpace(q),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			out[0] = in[0]
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := enc.NewStateCodec(p.Space(), g.M(), g.N(), r, outputs)
+	sym := NewSymmetry(p, make(core.Input, n), codec)
+	if sym == nil {
+		t.Fatalf("ring %d: symmetry unexpectedly inapplicable", n)
+	}
+	if sym.Order() != n {
+		t.Fatalf("ring %d: group order %d, want %d", n, sym.Order(), n)
+	}
+	return sym, codec
+}
+
+// TestCanonicalizeMinimality is the property test for canonical-rotation
+// minimality: on random ring states, the canonical form must be (a) a
+// member of the orbit, (b) no larger than any rotation of the state, (c)
+// identical across the whole orbit, and (d) idempotent.
+func TestCanonicalizeMinimality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	for _, n := range []int{3, 4, 5, 6} {
+		for _, q := range []uint64{2, 3} {
+			const r = 2
+			sym, codec := ringSymmetry(t, n, q, r, true)
+			canon := sym.NewCanon()
+			for trial := 0; trial < 200; trial++ {
+				labels := make(core.Labeling, n)
+				cd := make([]uint8, n)
+				out := make([]core.Bit, n)
+				for i := 0; i < n; i++ {
+					labels[i] = core.Label(rng.Uint64N(q))
+					cd[i] = uint8(rng.IntN(r + 1))
+					out[i] = core.Bit(rng.IntN(2))
+				}
+				orig := codec.Pack(labels, cd, out, nil)
+				got := append([]uint64(nil), orig...)
+				canon.Canonicalize(got)
+
+				// Generate the full orbit by brute-force rotation.
+				var orbit [][]uint64
+				rl := make(core.Labeling, n)
+				rcd := make([]uint8, n)
+				rout := make([]core.Bit, n)
+				for s := 0; s < n; s++ {
+					for i := 0; i < n; i++ {
+						// Rotation by s maps node/edge i to i+s.
+						rl[(i+s)%n] = labels[i]
+						rcd[(i+s)%n] = cd[i]
+						rout[(i+s)%n] = out[i]
+					}
+					orbit = append(orbit, codec.Pack(rl, rcd, rout, nil))
+				}
+				inOrbit := false
+				for _, member := range orbit {
+					if wordsLess(member, got) {
+						t.Fatalf("n=%d q=%d: orbit member %x smaller than canonical %x", n, q, member, got)
+					}
+					if !wordsLess(member, got) && !wordsLess(got, member) {
+						inOrbit = true
+					}
+					// (c) every member canonicalizes to the same form.
+					mc := append([]uint64(nil), member...)
+					canon.Canonicalize(mc)
+					for w := range mc {
+						if mc[w] != got[w] {
+							t.Fatalf("n=%d q=%d: orbit members canonicalize differently: %x vs %x", n, q, mc, got)
+						}
+					}
+				}
+				if !inOrbit {
+					t.Fatalf("n=%d q=%d: canonical form %x is not in the orbit of %x", n, q, got, orig)
+				}
+				// (d) idempotence.
+				again := append([]uint64(nil), got...)
+				canon.Canonicalize(again)
+				for w := range again {
+					if again[w] != got[w] {
+						t.Fatalf("n=%d q=%d: canonicalization not idempotent", n, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetryGates(t *testing.T) {
+	g := graph.Ring(4)
+	uniform, _ := core.NewUniformProtocol(g, core.BinarySpace(),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit { out[0] = in[0]; return 0 })
+	codec := enc.NewStateCodec(uniform.Space(), g.M(), g.N(), 2, false)
+
+	if NewSymmetry(uniform, make(core.Input, 4), codec) == nil {
+		t.Error("uniform protocol + zero input on a ring: quotient must apply")
+	}
+	// Non-invariant input kills the quotient.
+	if NewSymmetry(uniform, core.Input{1, 0, 0, 0}, codec) != nil {
+		t.Error("asymmetric input: quotient must be rejected")
+	}
+	// Non-uniform protocol (even with identical closures) kills it.
+	react := func(in []core.Label, _ core.Bit, out []core.Label) core.Bit { out[0] = in[0]; return 0 }
+	nonUniform, _ := core.NewProtocol(g, core.BinarySpace(),
+		[]core.Reaction{react, react, react, react})
+	if NewSymmetry(nonUniform, make(core.Input, 4), codec) != nil {
+		t.Error("NewProtocol-built protocol: quotient must be rejected")
+	}
+	// Asymmetric topology: trivial group.
+	dag := graph.MustNew(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 0, To: 2}})
+	up, _ := core.NewUniformProtocol(dag, core.BinarySpace(),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			for i := range out {
+				out[i] = 0
+			}
+			return 0
+		})
+	dagCodec := enc.NewStateCodec(up.Space(), dag.M(), dag.N(), 2, false)
+	if NewSymmetry(up, make(core.Input, 3), dagCodec) != nil {
+		t.Error("asymmetric topology: quotient must be trivial")
+	}
+}
+
+// FuzzCanonicalizeRotation fuzzes canonical-rotation minimality on the
+// 5-ring: for arbitrary packed label bytes, the canonical form must be the
+// minimum over all five rotations.
+func FuzzCanonicalizeRotation(f *testing.F) {
+	f.Add(uint16(0), uint8(0))
+	f.Add(uint16(0x2ad), uint8(0x31))
+	f.Fuzz(func(t *testing.T, rawLabels uint16, rawCd uint8) {
+		const n, q, r = 5, 3, 1
+		g := graph.Ring(n)
+		p, err := core.NewUniformProtocol(g, core.MustLabelSpace(q),
+			func(in []core.Label, _ core.Bit, out []core.Label) core.Bit { out[0] = in[0]; return 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		codec := enc.NewStateCodec(p.Space(), n, n, r, false)
+		sym := NewSymmetry(p, make(core.Input, n), codec)
+		labels := make(core.Labeling, n)
+		cd := make([]uint8, n)
+		for i := 0; i < n; i++ {
+			labels[i] = core.Label(uint64(rawLabels>>(3*i)) % q)
+			cd[i] = (rawCd >> i) & 1
+		}
+		key := codec.Pack(labels, cd, nil, nil)
+		got := append([]uint64(nil), key...)
+		sym.NewCanon().Canonicalize(got)
+		rl := make(core.Labeling, n)
+		rcd := make([]uint8, n)
+		best := append([]uint64(nil), key...)
+		for s := 1; s < n; s++ {
+			for i := 0; i < n; i++ {
+				rl[(i+s)%n] = labels[i]
+				rcd[(i+s)%n] = cd[i]
+			}
+			cand := codec.Pack(rl, rcd, nil, nil)
+			if wordsLess(cand, best) {
+				copy(best, cand)
+			}
+		}
+		if got[0] != best[0] {
+			t.Fatalf("canonical %x != brute-force orbit minimum %x", got, best)
+		}
+	})
+}
+
+// TestCanonicalizeFastMatchesSlow pins the byte-table fast path to the
+// generic unpack-permute-pack path on random single-word ring states.
+func TestCanonicalizeFastMatchesSlow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for _, n := range []int{3, 5, 7} {
+		const q, r = 3, 3
+		sym, codec := ringSymmetry(t, n, q, r, true)
+		if sym.tables == nil {
+			t.Fatalf("n=%d: expected the single-word fast path", n)
+		}
+		canon := sym.NewCanon()
+		labels := make(core.Labeling, n)
+		cd := make([]uint8, n)
+		out := make([]core.Bit, n)
+		for trial := 0; trial < 500; trial++ {
+			for i := 0; i < n; i++ {
+				labels[i] = core.Label(rng.Uint64N(q))
+				cd[i] = uint8(rng.IntN(r + 1))
+				out[i] = core.Bit(rng.IntN(2))
+			}
+			key := codec.Pack(labels, cd, out, nil)
+			fast := append([]uint64(nil), key...)
+			slow := append([]uint64(nil), key...)
+			canon.Canonicalize(fast)
+			canon.slowCanonicalize(slow)
+			if fast[0] != slow[0] {
+				t.Fatalf("n=%d trial %d: fast %x != slow %x (input %x)", n, trial, fast[0], slow[0], key[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package explore is the shared state-space exploration engine behind
+// internal/verify's states-graph search and the simulators' cycle
+// detection. It provides pluggable visited-state stores over the packed
+// encoding of internal/enc:
+//
+//   - a dense direct-indexed store for narrow states (≤ DenseMaxBits packed
+//     bits): the packed value *is* the state ID and the visited set is an
+//     atomic-CAS bitset, so interning a state costs one load and one CAS —
+//     no hashing, no locks, no arena;
+//   - a sharded-hash store for wide states: 2^shardBits mutex-protected
+//     intern tables (the engine PR 1 built into internal/verify).
+//
+// On top of the stores sit a bounded-worker BFS driver (Run), a symmetry
+// quotient that canonicalizes states modulo the graph's order-preserving
+// automorphisms (Symmetry/Canon), a sequential interner for cycle detection
+// (Seen), and a chunked parallel enumerator of Σ^m (Labelings).
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"stateless/internal/enc"
+)
+
+// DenseMaxBits is the widest packed state the dense direct-indexed store
+// accepts. At 30 bits the visited bitset spans 2^30 states = 128 MiB of
+// (lazily faulted) zero pages; beyond that the sharded-hash store wins.
+const DenseMaxBits = 30
+
+// DenseAutoMaxBits is the widest packed state NewStore picks the dense
+// store for on its own. The dense store pays O(2^bits) fixed cost
+// (allocating, and at Compact scanning, the bitset); at 26 bits that is an
+// 8 MiB bitset — cheap against any exploration worth parallelizing —
+// while at the 27..30-bit margin sparse explorations are usually better
+// off hashing. Callers who know their occupancy can still force
+// StoreDense up to DenseMaxBits.
+const DenseAutoMaxBits = 26
+
+// ErrLimit is returned when an exploration exceeds its state budget (or a
+// store overflows its ID space).
+var ErrLimit = errors.New("explore: state limit exceeded")
+
+// Store is a concurrent visited-state set over fixed-width packed keys.
+// IDs are stable but arbitrary (the dense store uses the packed value
+// itself, the hash store a shard-encoded index); Compact freezes the store
+// and exposes a dense 0-based ranking for post-exploration graph analysis.
+type Store interface {
+	// Intern adds key and returns its ID plus whether it was new.
+	// Safe for concurrent use.
+	Intern(key []uint64) (id int32, fresh bool, err error)
+	// Read copies the packed words of id into buf (reused when large
+	// enough). Safe for concurrent use with Intern.
+	Read(id int32, buf []uint64) []uint64
+	// Len returns the number of interned states.
+	Len() int
+	// Compact freezes the store (no Intern afterwards) and returns the
+	// total state count. Rank and WordsAt are valid only after Compact.
+	Compact() int
+	// Rank maps an ID to its dense index in [0, Compact()).
+	Rank(id int32) int32
+	// WordsAt returns the packed words of the rank-th state. The result
+	// must be treated as read-only; buf is used as backing storage when the
+	// store has to materialize the words (callers comparing two states must
+	// pass distinct bufs).
+	WordsAt(rank int32, buf []uint64) []uint64
+}
+
+// NewStore picks a store for the codec: dense direct-indexed when the
+// packed width fits DenseAutoMaxBits, sharded-hash otherwise.
+func NewStore(codec *enc.Codec) Store {
+	if codec.Bits() <= DenseAutoMaxBits {
+		return NewDense(codec.Bits())
+	}
+	return NewHash(codec.Words())
+}
+
+// ---------------------------------------------------------------------------
+// Dense direct-indexed store.
+
+// Dense is the direct-indexed store: state keys are at most DenseMaxBits
+// wide, the key is the ID, and visited-ness is one bit in an atomic bitset.
+type Dense struct {
+	bits    int
+	visited []atomic.Uint64
+	count   atomic.Int64
+
+	// Filled by Compact: ids lists the visited keys in ascending numeric
+	// order (rank → key) and prefix[w] counts the set bits before bitset
+	// word w (for O(1) Rank).
+	ids    []int32
+	prefix []int32
+}
+
+// NewDense returns a dense store for packed keys of the given bit width
+// (must be ≤ DenseMaxBits). The bitset is allocated eagerly but untouched
+// pages cost nothing until a state in their range is visited.
+func NewDense(width int) *Dense {
+	if width > DenseMaxBits {
+		panic(fmt.Sprintf("explore: dense store over %d bits (max %d)", width, DenseMaxBits))
+	}
+	words := 1 << uint(max(0, width-6))
+	return &Dense{bits: width, visited: make([]atomic.Uint64, words)}
+}
+
+// Intern marks key visited. The ID is the packed value itself.
+func (d *Dense) Intern(key []uint64) (int32, bool, error) {
+	k := key[0]
+	w := &d.visited[k>>6]
+	bit := uint64(1) << (k & 63)
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			return int32(k), false, nil
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			d.count.Add(1)
+			return int32(k), true, nil
+		}
+	}
+}
+
+// Read reconstructs the packed words of id — the ID is the state.
+func (d *Dense) Read(id int32, buf []uint64) []uint64 {
+	if cap(buf) < 1 {
+		buf = make([]uint64, 1)
+	}
+	buf = buf[:1]
+	buf[0] = uint64(id)
+	return buf
+}
+
+// Len returns the number of visited states.
+func (d *Dense) Len() int { return int(d.count.Load()) }
+
+// Compact builds the rank index. Ranks follow numeric key order, i.e. the
+// packed-value order internal/enc's comparators define.
+func (d *Dense) Compact() int {
+	d.prefix = make([]int32, len(d.visited))
+	d.ids = make([]int32, 0, d.count.Load())
+	total := int32(0)
+	for wi := range d.visited {
+		d.prefix[wi] = total
+		w := d.visited[wi].Load()
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			d.ids = append(d.ids, int32(wi<<6|b))
+			w &= w - 1
+			total++
+		}
+	}
+	return int(total)
+}
+
+// Rank returns id's dense index via prefix popcounts.
+func (d *Dense) Rank(id int32) int32 {
+	k := uint64(id)
+	w := d.visited[k>>6].Load()
+	return d.prefix[k>>6] + int32(bits.OnesCount64(w&(1<<(k&63)-1)))
+}
+
+// WordsAt materializes the rank-th state into buf.
+func (d *Dense) WordsAt(rank int32, buf []uint64) []uint64 {
+	return d.Read(d.ids[rank], buf)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-hash store (fallback for wide states).
+
+// shardBits fixes the ownership-hash shard count (2^shardBits dedup tables,
+// each behind its own mutex); more shards than workers keeps lock
+// contention negligible.
+const shardBits = 6
+
+const maxLocalID = (1 << (31 - shardBits)) - 1
+
+// Hash is the sharded-hash store: 2^shardBits mutex-protected enc.Tables.
+// IDs encode (local index << shardBits) | shard.
+type Hash struct {
+	shards [1 << shardBits]struct {
+		mu  sync.Mutex
+		tab *enc.Table
+	}
+	base []int32
+}
+
+// NewHash returns a hash store for keys of wordsPerKey words.
+func NewHash(wordsPerKey int) *Hash {
+	h := &Hash{}
+	for i := range h.shards {
+		h.shards[i].tab = enc.NewTable(wordsPerKey, 64)
+	}
+	return h
+}
+
+// Intern adds key to its ownership shard.
+func (h *Hash) Intern(key []uint64) (int32, bool, error) {
+	// Shard by the HIGH hash bits: the shard table probes from the low
+	// bits, so taking ownership from them too would leave every key in a
+	// shard sharing its low bits and collapse the home slots to every
+	// 64th position (measured ~3x slower interning).
+	owner := enc.Hash(key) >> (64 - shardBits)
+	s := &h.shards[owner]
+	s.mu.Lock()
+	local, fresh := s.tab.Intern(key)
+	s.mu.Unlock()
+	if local > maxLocalID {
+		return 0, false, fmt.Errorf("%w: shard overflow", ErrLimit)
+	}
+	return int32(local)<<shardBits | int32(owner), fresh, nil
+}
+
+// Read copies state id's packed words into buf (the shard arena may be
+// reallocated concurrently, so the copy happens under the shard lock).
+func (h *Hash) Read(id int32, buf []uint64) []uint64 {
+	s := &h.shards[id&(1<<shardBits-1)]
+	s.mu.Lock()
+	src := s.tab.At(int(id >> shardBits))
+	if cap(buf) < len(src) {
+		buf = make([]uint64, len(src))
+	}
+	buf = buf[:len(src)]
+	copy(buf, src)
+	s.mu.Unlock()
+	return buf
+}
+
+// Len returns the number of interned states.
+func (h *Hash) Len() int {
+	n := 0
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+		n += h.shards[i].tab.Len()
+		h.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Compact lays the shard ranges out back to back.
+func (h *Hash) Compact() int {
+	h.base = make([]int32, len(h.shards)+1)
+	total := 0
+	for s := range h.shards {
+		h.base[s] = int32(total)
+		total += h.shards[s].tab.Len()
+	}
+	h.base[len(h.shards)] = int32(total)
+	return total
+}
+
+// Rank returns id's dense index (its shard base plus local index).
+func (h *Hash) Rank(id int32) int32 {
+	return h.base[id&(1<<shardBits-1)] + id>>shardBits
+}
+
+// WordsAt returns an arena view of the rank-th state (safe once Compact has
+// frozen the store; buf is unused).
+func (h *Hash) WordsAt(rank int32, _ []uint64) []uint64 {
+	lo, hi := 0, len(h.shards)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if h.base[mid] <= rank {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return h.shards[lo].tab.At(int(rank - h.base[lo]))
+}

@@ -1,0 +1,248 @@
+package explore
+
+import (
+	"stateless/internal/core"
+	"stateless/internal/enc"
+	"stateless/internal/graph"
+)
+
+// Symmetry is an immutable symmetry-quotient context: the graph's
+// order-preserving automorphism group (graph.OrderAutomorphisms) lifted to
+// permutations of packed states. Quotienting replaces every explored state
+// by the lexicographically minimal packed state in its orbit, shrinking the
+// visited set by up to the group order while preserving verdicts exactly —
+// see internal/verify for the quotient-correct violation criterion.
+//
+// Soundness requires the transition relation to commute with the group:
+// NewSymmetry therefore returns nil (quotient disabled) unless the protocol
+// is node-uniform (core.Protocol.Uniform) and the input vector is invariant
+// under every automorphism. Order preservation of the automorphisms does
+// the rest: a uniform reaction sees its in-labels and writes its out-labels
+// in the canonical incidence order, which the automorphisms preserve
+// position by position.
+type Symmetry struct {
+	codec *enc.Codec
+	auts  []graph.Automorphism // non-identity elements only
+	order int                  // group order including the identity
+
+	// tables is the fast path for single-word states: tables[a][b][v] is
+	// the contribution of input byte b holding value v to the packed image
+	// of the state under automorphism a, so applying an automorphism is
+	// eight table lookups ORed together instead of an unpack–permute–pack
+	// round trip. nil for multi-word states.
+	tables [][8][256]uint64
+}
+
+// NewSymmetry builds the quotient context for (p, x) states packed by
+// codec, or returns nil when quotienting is unsound or trivial (group order
+// 1). codec must lay out p.Graph().M() labels and either zero or
+// p.Graph().N() countdown fields.
+func NewSymmetry(p *core.Protocol, x core.Input, codec *enc.Codec) *Symmetry {
+	if !p.Uniform() {
+		return nil
+	}
+	auts := p.Graph().OrderAutomorphisms()
+	nonID := auts[:0]
+	for _, a := range auts {
+		if a.IsIdentity() {
+			continue
+		}
+		invariant := true
+		for v, img := range a.Node {
+			if x[v] != x[img] {
+				invariant = false
+				break
+			}
+		}
+		if invariant {
+			nonID = append(nonID, a)
+		}
+	}
+	if len(nonID) == 0 {
+		return nil
+	}
+	// Dropping non-invariant automorphisms can break the group property
+	// (the surviving set might not be closed under composition), which
+	// would make "minimal over the listed elements" orbit-dependent. Keep
+	// the quotient only when every non-identity automorphism survived —
+	// for rings that is the common case: either x is rotation invariant
+	// (all equal) or it is not and the quotient is off.
+	if len(nonID) != len(auts)-1 {
+		return nil
+	}
+	s := &Symmetry{codec: codec, auts: nonID, order: len(auts)}
+	if codec.Words() == 1 {
+		s.buildTables()
+	}
+	return s
+}
+
+// bitMove is one field relocation of a state permutation: width bits move
+// from bit offset src to bit offset dst.
+type bitMove struct {
+	src, dst, width int
+}
+
+// moves lists the field relocations induced by automorphism a: label field
+// e lands at Edge[e], countdown and output fields v land at Node[v].
+func (s *Symmetry) moves(a *graph.Automorphism) []bitMove {
+	c := s.codec
+	var out []bitMove
+	if w := c.LabelFieldBits(); w > 0 {
+		for e := 0; e < c.M(); e++ {
+			out = append(out, bitMove{c.LabelOffset(e), c.LabelOffset(int(a.Edge[e])), w})
+		}
+	}
+	if w := c.CountdownFieldBits(); w > 0 {
+		for v := 0; v < c.N(); v++ {
+			out = append(out, bitMove{c.CountdownOffset(v), c.CountdownOffset(int(a.Node[v])), w})
+		}
+	}
+	if c.HasOutputs() {
+		for v := 0; v < c.N(); v++ {
+			out = append(out, bitMove{c.OutputOffset(v), c.OutputOffset(int(a.Node[v])), 1})
+		}
+	}
+	return out
+}
+
+func (s *Symmetry) buildTables() {
+	s.tables = make([][8][256]uint64, len(s.auts))
+	for ai := range s.auts {
+		tab := &s.tables[ai]
+		for _, mv := range s.moves(&s.auts[ai]) {
+			for j := 0; j < mv.width; j++ {
+				srcBit := mv.src + j
+				dstBit := mv.dst + j
+				byteIdx, bitInByte := srcBit>>3, uint(srcBit&7)
+				for v := 0; v < 256; v++ {
+					if v>>bitInByte&1 != 0 {
+						tab[byteIdx][v] |= 1 << uint(dstBit)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Order returns the automorphism group order (≥ 2 for a non-nil Symmetry).
+func (s *Symmetry) Order() int {
+	if s == nil {
+		return 1
+	}
+	return s.order
+}
+
+// Canon is one worker's canonicalization scratch over a shared Symmetry.
+// Not safe for concurrent use; create one per worker via NewCanon.
+type Canon struct {
+	s      *Symmetry
+	labels core.Labeling
+	cd     []uint8
+	out    []core.Bit
+	plab   core.Labeling
+	pcd    []uint8
+	pout   []core.Bit
+	cand   []uint64
+	best   []uint64
+}
+
+// NewCanon returns a fresh canonicalization scratch.
+func (s *Symmetry) NewCanon() *Canon {
+	return &Canon{s: s}
+}
+
+// Canonicalize rewrites key in place to the minimal packed state of its
+// orbit (minimal as an unsigned integer in the packed-word encoding, most
+// significant word first) and returns it. The orbit of (ℓ, x⃗, y⃗) under an
+// automorphism π is (ℓ∘π⁻¹ on edges, countdowns and outputs permuted by π
+// on nodes). Single-word states take the precomputed table path (eight
+// byte lookups per automorphism); wider states unpack, permute, and
+// repack.
+func (c *Canon) Canonicalize(key []uint64) []uint64 {
+	if c.s.tables != nil {
+		k := key[0]
+		best := k
+		for ai := range c.s.tables {
+			t := &c.s.tables[ai]
+			cand := t[0][k&0xff] | t[1][k>>8&0xff] | t[2][k>>16&0xff] | t[3][k>>24&0xff] |
+				t[4][k>>32&0xff] | t[5][k>>40&0xff] | t[6][k>>48&0xff] | t[7][k>>56&0xff]
+			if cand < best {
+				best = cand
+			}
+		}
+		key[0] = best
+		return key
+	}
+	return c.slowCanonicalize(key)
+}
+
+// slowCanonicalize is the generic multi-word path.
+func (c *Canon) slowCanonicalize(key []uint64) []uint64 {
+	s := c.s
+	codec := s.codec
+	c.labels = codec.UnpackLabels(key, c.labels)
+	if codec.N() > 0 {
+		c.cd = codec.UnpackCountdown(key, c.cd)
+		if codec.HasOutputs() {
+			c.out = codec.UnpackOutputs(key, c.out)
+		}
+	}
+	c.plab = ensureLabels(c.plab, len(c.labels))
+	c.pcd = ensureU8(c.pcd, len(c.cd))
+	c.pout = ensureBits(c.pout, len(c.out))
+	best := key
+	for i := range s.auts {
+		a := &s.auts[i]
+		for e, l := range c.labels {
+			c.plab[a.Edge[e]] = l
+		}
+		for v := range c.cd {
+			c.pcd[a.Node[v]] = c.cd[v]
+		}
+		for v := range c.out {
+			c.pout[a.Node[v]] = c.out[v]
+		}
+		c.cand = codec.Pack(c.plab, c.pcd, c.pout, c.cand)
+		if wordsLess(c.cand, best) {
+			c.best = append(c.best[:0], c.cand...)
+			best = c.best
+		}
+	}
+	if &best[0] != &key[0] {
+		copy(key, best)
+	}
+	return key
+}
+
+// wordsLess orders packed states as unsigned integers (word 0 least
+// significant).
+func wordsLess(a, b []uint64) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func ensureLabels(buf core.Labeling, n int) core.Labeling {
+	if cap(buf) < n {
+		return make(core.Labeling, n)
+	}
+	return buf[:n]
+}
+
+func ensureU8(buf []uint8, n int) []uint8 {
+	if cap(buf) < n {
+		return make([]uint8, n)
+	}
+	return buf[:n]
+}
+
+func ensureBits(buf []core.Bit, n int) []core.Bit {
+	if cap(buf) < n {
+		return make([]core.Bit, n)
+	}
+	return buf[:n]
+}

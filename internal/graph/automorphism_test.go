@@ -1,0 +1,80 @@
+package graph
+
+import "testing"
+
+func TestOrderAutomorphismsUnidirectionalRing(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		g := Ring(n)
+		auts := g.OrderAutomorphisms()
+		if len(auts) != n {
+			t.Fatalf("Ring(%d): got %d order automorphisms, want all %d rotations", n, len(auts), n)
+		}
+		if !auts[0].IsIdentity() {
+			t.Fatalf("Ring(%d): first automorphism is not the identity", n)
+		}
+		for _, a := range auts {
+			shift := int(a.Node[0])
+			for v := 0; v < n; v++ {
+				if a.Node[v] != NodeID((v+shift)%n) {
+					t.Fatalf("Ring(%d): automorphism with π(0)=%d is not the rotation by %d: π(%d)=%d",
+						n, shift, shift, v, a.Node[v])
+				}
+			}
+			// The induced edge permutation must be consistent with π.
+			for id, e := range g.Edges() {
+				img := g.Edge(a.Edge[id])
+				if img.From != a.Node[e.From] || img.To != a.Node[e.To] {
+					t.Fatalf("Ring(%d): edge %v maps to %v, want (%d->%d)",
+						n, e, img, a.Node[e.From], a.Node[e.To])
+				}
+			}
+		}
+	}
+}
+
+func TestOrderAutomorphismsAreValidAutomorphisms(t *testing.T) {
+	graphs := map[string]*Graph{
+		"bidirectional-ring-5": BidirectionalRing(5),
+		"clique-4":             Clique(4),
+		"star-5":               Star(5),
+		"path-4":               Path(4),
+		"torus-2x3":            Torus(2, 3),
+		"hypercube-3":          Hypercube(3),
+	}
+	for name, g := range graphs {
+		auts := g.OrderAutomorphisms()
+		if len(auts) == 0 {
+			t.Fatalf("%s: no automorphisms at all (identity missing)", name)
+		}
+		if !auts[0].IsIdentity() {
+			t.Fatalf("%s: identity is not first", name)
+		}
+		for ai, a := range auts {
+			// Each must be a bijection preserving edges and incidence order.
+			for v := 0; v < g.N(); v++ {
+				w := a.Node[v]
+				for k, id := range g.In(NodeID(v)) {
+					want := g.Edge(g.In(w)[k]).From
+					if a.Node[g.Edge(id).From] != want {
+						t.Fatalf("%s aut %d: in-order broken at node %d pos %d", name, ai, v, k)
+					}
+				}
+				for k, id := range g.Out(NodeID(v)) {
+					want := g.Edge(g.Out(w)[k]).To
+					if a.Node[g.Edge(id).To] != want {
+						t.Fatalf("%s aut %d: out-order broken at node %d pos %d", name, ai, v, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOrderAutomorphismsAsymmetricGraph(t *testing.T) {
+	// 0→1→2 plus 0→2: the only order automorphism is the identity.
+	g := MustNew(3, []Edge{{0, 1}, {1, 2}, {0, 2}})
+	auts := g.OrderAutomorphisms()
+	if len(auts) != 1 || !auts[0].IsIdentity() {
+		t.Fatalf("asymmetric DAG: got %d automorphisms, want identity only", len(auts))
+	}
+}

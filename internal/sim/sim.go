@@ -19,6 +19,7 @@ import (
 
 	"stateless/internal/core"
 	"stateless/internal/enc"
+	"stateless/internal/explore"
 	"stateless/internal/graph"
 	"stateless/internal/par"
 	"stateless/internal/schedule"
@@ -128,15 +129,17 @@ func Run(p *core.Protocol, x core.Input, l0 core.Labeling, sched schedule.Schedu
 	next := cur.Clone()
 	// Cycle detection interns packed labelings: no per-step allocation and
 	// ⌈log₂|Σ|⌉ bits per edge instead of an 8-bytes-per-edge string key.
+	// explore.NewSeen picks a direct-indexed table for narrow labelings
+	// (one load+store per step, no hashing) and an intern table otherwise.
 	var (
 		codec    *enc.Codec
-		seen     *enc.Table
+		seen     *explore.Seen
 		seenStep []int
 		keyBuf   []uint64
 	)
 	if opts.DetectCycles {
 		codec = enc.NewLabelCodec(p.Space(), g.M())
-		seen = enc.NewTable(codec.Words(), 256)
+		seen = explore.NewSeen(codec, 256)
 	}
 	active := make([]graph.NodeID, 0, g.N())
 	lastLabelChange := 0

@@ -13,6 +13,7 @@ import (
 
 	"stateless/internal/core"
 	"stateless/internal/enc"
+	"stateless/internal/explore"
 	"stateless/internal/graph"
 )
 
@@ -91,7 +92,7 @@ func (p *Protocol) RunSynchronous(init []core.Label, maxSteps int) (RunResult, e
 		}
 	}
 	codec := enc.NewLabelCodec(core.MustLabelSpace(p.Size), p.N)
-	seen := enc.NewTable(codec.Words(), 256)
+	seen := explore.NewSeen(codec, 256)
 	var keyBuf []uint64
 	seenStep := []int{0}
 	keyBuf = codec.PackLabels(cur, keyBuf)

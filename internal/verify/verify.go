@@ -10,12 +10,18 @@
 // one can hope for in general; it is used on the paper's small gadgets to
 // verify the theorems' iff-properties empirically.
 //
-// The engine keys states by a packed bit encoding (internal/enc) — no
-// per-state string allocation — and shards the reachability exploration
-// across a worker pool. Options.Workers controls the pool size (default
-// GOMAXPROCS); verdicts, state counts, and witnesses are deterministic
-// regardless of worker count, because witnesses are canonicalized by the
-// packed-label order rather than by discovery order.
+// The search runs on the shared exploration engine of internal/explore:
+// states are bit-packed (internal/enc), the visited set is either a dense
+// direct-indexed bitset (narrow states — the packed value is the state ID,
+// no hashing or locking) or a sharded-hash intern table, and the frontier
+// fans out over a worker pool (Options.Workers). On symmetric topologies
+// the engine additionally quotients the states-graph by the graph's
+// order-preserving automorphisms (all n rotations of a unidirectional
+// ring), exploring one canonical representative per orbit. Verdicts, state
+// counts, and witnesses are deterministic and identical across store
+// backends and worker counts; under the quotient the state count shrinks
+// by up to the group order while the verdict stays exact (see the
+// violation criterion at stabilization).
 package verify
 
 import (
@@ -23,10 +29,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"stateless/internal/core"
 	"stateless/internal/enc"
+	"stateless/internal/explore"
 	"stateless/internal/graph"
 	"stateless/internal/par"
 )
@@ -38,6 +44,37 @@ var ErrStateSpaceTooLarge = errors.New("verify: state space exceeds limit")
 // DefaultLimit is the state-space bound used when Options.Limit is zero.
 const DefaultLimit = 1 << 24
 
+// StoreKind selects the visited-state store backend.
+type StoreKind int
+
+// Store backends.
+const (
+	// StoreAuto picks the dense store when the packed state fits
+	// explore.DenseAutoMaxBits, the sharded-hash store otherwise.
+	StoreAuto StoreKind = iota
+	// StoreDense forces the dense direct-indexed store (errors when the
+	// packed state is too wide).
+	StoreDense
+	// StoreHash forces the sharded-hash store.
+	StoreHash
+)
+
+// SymmetryMode selects symmetry quotienting.
+type SymmetryMode int
+
+// Symmetry modes.
+const (
+	// SymmetryAuto quotients whenever it is sound: the protocol is
+	// node-uniform, the input is invariant under the graph's
+	// order-preserving automorphisms, and the group is nontrivial.
+	SymmetryAuto SymmetryMode = iota
+	// SymmetryOff never quotients.
+	SymmetryOff
+	// SymmetryOn requires the quotient and errors when it is not
+	// applicable.
+	SymmetryOn
+)
+
 // Options configures a stabilization check.
 type Options struct {
 	// Limit bounds the number of explored states (0 means DefaultLimit).
@@ -45,6 +82,13 @@ type Options struct {
 	// Workers is the exploration worker-pool size (0 means GOMAXPROCS).
 	// The verdict and witness are identical for every worker count.
 	Workers int
+	// Store selects the visited-state store backend (default StoreAuto).
+	// The verdict and witness are identical for every backend.
+	Store StoreKind
+	// Symmetry selects symmetry quotienting (default SymmetryAuto).
+	// Quotienting changes Decision.States (orbit representatives instead
+	// of raw states) but never the verdict.
+	Symmetry SymmetryMode
 }
 
 // Witness describes why a protocol is not r-stabilizing: a reachable cycle
@@ -62,8 +106,13 @@ type Witness struct {
 type Decision struct {
 	// Stabilizing reports the verdict.
 	Stabilizing bool
-	// States is the number of states explored.
+	// States is the number of states explored. Under symmetry quotienting
+	// (Quotient > 1) it counts canonical orbit representatives, which can
+	// be up to Quotient times fewer than the raw states-graph vertices.
 	States int
+	// Quotient is the order of the symmetry group the exploration
+	// quotiented by (1 when no quotienting happened).
+	Quotient int
 	// Witness is non-nil iff !Stabilizing.
 	Witness *Witness
 }
@@ -94,19 +143,43 @@ func EnumerateLabelings(space core.LabelSpace, m int, fn func(core.Labeling) err
 
 // StableLabelings enumerates all stable labelings of (p, x): the fixed
 // points of every reaction function (Section 3). limit bounds |Σ|^|E|.
+// The sweep fans out over GOMAXPROCS workers (explore.Labelings); the
+// result order is the sequential odometer order regardless. See
+// StableLabelingsWorkers for an explicit pool-size knob.
 func StableLabelings(p *core.Protocol, x core.Input, limit int) ([]core.Labeling, error) {
+	return StableLabelingsWorkers(p, x, limit, 0)
+}
+
+// StableLabelingsWorkers is StableLabelings on a bounded worker pool
+// (workers ≤ 0 means GOMAXPROCS).
+func StableLabelingsWorkers(p *core.Protocol, x core.Input, limit, workers int) ([]core.Labeling, error) {
 	m := p.Graph().M()
 	if tooMany(p.Space().Size(), m, limit) {
 		return nil, fmt.Errorf("%w: |Σ|^m = %d^%d", ErrStateSpaceTooLarge, p.Space().Size(), m)
 	}
-	var stable []core.Labeling
-	err := EnumerateLabelings(p.Space(), m, func(l core.Labeling) error {
+	// Chunks run concurrently but each chunk index is visited by exactly
+	// one goroutine, so per-chunk result slots need no locking.
+	chunks := make([][]core.Labeling, explore.ChunkCount(p.Space(), m))
+	err := explore.Labelings(p.Space(), m, workers, func(chunk int, l core.Labeling) error {
 		if core.IsStable(p, x, l) {
-			stable = append(stable, l.Clone())
+			chunks[chunk] = append(chunks[chunk], l.Clone())
 		}
 		return nil
 	})
-	return stable, err
+	if err != nil {
+		return nil, err
+	}
+	return flattenChunks(chunks), nil
+}
+
+// flattenChunks concatenates per-chunk results in chunk order, restoring
+// the deterministic sequential enumeration order.
+func flattenChunks(chunks [][]core.Labeling) []core.Labeling {
+	var out []core.Labeling
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
 }
 
 func tooMany(size uint64, m, limit int) bool {
@@ -121,187 +194,107 @@ func tooMany(size uint64, m, limit int) bool {
 }
 
 // ---------------------------------------------------------------------------
-// Parallel packed states-graph exploration.
+// States-graph exploration on the internal/explore engine.
 
-// shardBits fixes the ownership-hash shard count (2^shardBits dedup tables,
-// each behind its own mutex); more shards than workers keeps lock
-// contention negligible.
-const shardBits = 6
-
-// stateEdge is one states-graph transition, in global (pre-compaction) IDs.
-type stateEdge struct{ src, dst int32 }
-
-// tableShard is one ownership shard: a mutex-protected intern table.
-// Global state IDs encode (local index << shardBits) | shard.
-type tableShard struct {
-	mu  sync.Mutex
-	tab *enc.Table
+// stateEdge is one states-graph transition in store IDs. changed records
+// whether the compared section (labels, or outputs when checking output
+// stabilization) differs between the source state and its *raw* successor
+// — i.e. before the successor is canonicalized under symmetry quotienting.
+// This makes the violation criterion exact under the quotient: a real
+// oscillation that only rotates a labeling around a ring still flips
+// changed, even though source and canonical successor coincide.
+type stateEdge struct {
+	src, dst int32
+	changed  bool
 }
 
-// workQueue is an unbounded multi-producer multi-consumer queue of global
-// state IDs with distributed-termination accounting: pending counts states
-// discovered but not yet fully expanded; when it hits zero the exploration
-// is complete and all poppers drain out.
-type workQueue struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	items   []int32
-	pending int
-	err     error
-}
-
-func newWorkQueue() *workQueue {
-	q := &workQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *workQueue) push(id int32) {
-	q.mu.Lock()
-	q.items = append(q.items, id)
-	q.pending++
-	q.cond.Signal()
-	q.mu.Unlock()
-}
-
-func (q *workQueue) pop() (int32, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && q.pending > 0 && q.err == nil {
-		q.cond.Wait()
-	}
-	if q.err != nil || len(q.items) == 0 {
-		return 0, false
-	}
-	id := q.items[len(q.items)-1]
-	q.items = q.items[:len(q.items)-1]
-	return id, true
-}
-
-func (q *workQueue) taskDone() {
-	q.mu.Lock()
-	q.pending--
-	if q.pending == 0 {
-		q.cond.Broadcast()
-	}
-	q.mu.Unlock()
-}
-
-func (q *workQueue) fail(err error) {
-	q.mu.Lock()
-	if q.err == nil {
-		q.err = err
-	}
-	q.cond.Broadcast()
-	q.mu.Unlock()
-}
-
-func (q *workQueue) failure() error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.err
-}
-
-// explorer holds the shared state of one parallel states-graph search.
+// explorer holds the shared state of one states-graph search.
 type explorer struct {
 	p            *core.Protocol
 	x            core.Input
 	r            int
 	trackOutputs bool
 	limit        int
+	workers      int
 
-	codec  *enc.Codec
-	shards []tableShard
-	queue  *workQueue
-	total  atomic.Int64
+	codec *enc.Codec
+	store explore.Store
+	sym   *explore.Symmetry // nil = no quotient
 
-	// edges holds one transition buffer per worker; each worker publishes
-	// its buffer at exit and the merge happens after the join.
-	edges [][]stateEdge
-
-	// Compaction (filled after exploration): dense IDs assign shard s the
-	// contiguous range [base[s], base[s]+len_s).
-	base []int32
+	// expanders[w] is worker w's expander; its edge buffer is merged after
+	// the engine joins its workers.
+	expanders []*expander
 }
 
-const maxLocalID = (1 << (31 - shardBits)) - 1
-
-func newExplorer(p *core.Protocol, x core.Input, r int, trackOutputs bool, limit int) *explorer {
+func newExplorer(p *core.Protocol, x core.Input, r int, trackOutputs bool, opts Options, limit int) (*explorer, error) {
 	g := p.Graph()
-	e := &explorer{
+	codec := enc.NewStateCodec(p.Space(), g.M(), g.N(), r, trackOutputs)
+	var store explore.Store
+	switch opts.Store {
+	case StoreAuto:
+		store = explore.NewStore(codec)
+	case StoreDense:
+		if codec.Bits() > explore.DenseMaxBits {
+			return nil, fmt.Errorf("verify: dense store requested but state is %d bits (max %d)",
+				codec.Bits(), explore.DenseMaxBits)
+		}
+		store = explore.NewDense(codec.Bits())
+	case StoreHash:
+		store = explore.NewHash(codec.Words())
+	default:
+		return nil, fmt.Errorf("verify: unknown store kind %d", opts.Store)
+	}
+	var sym *explore.Symmetry
+	switch opts.Symmetry {
+	case SymmetryOff:
+	case SymmetryAuto:
+		sym = explore.NewSymmetry(p, x, codec)
+	case SymmetryOn:
+		sym = explore.NewSymmetry(p, x, codec)
+		if sym == nil {
+			return nil, errors.New("verify: symmetry quotient requested but not applicable " +
+				"(needs a node-uniform protocol, an automorphism-invariant input, and a symmetric topology)")
+		}
+	default:
+		return nil, fmt.Errorf("verify: unknown symmetry mode %d", opts.Symmetry)
+	}
+	workers := par.Workers(opts.Workers)
+	return &explorer{
 		p:            p,
 		x:            x,
 		r:            r,
 		trackOutputs: trackOutputs,
 		limit:        limit,
-		codec:        enc.NewStateCodec(p.Space(), g.M(), g.N(), r, trackOutputs),
-		shards:       make([]tableShard, 1<<shardBits),
-		queue:        newWorkQueue(),
-	}
-	for i := range e.shards {
-		e.shards[i].tab = enc.NewTable(e.codec.Words(), 64)
-	}
-	return e
+		workers:      workers,
+		codec:        codec,
+		store:        store,
+		sym:          sym,
+		expanders:    make([]*expander, workers),
+	}, nil
 }
 
-// intern adds the packed state to its ownership shard and returns its
-// global ID and whether it is new.
-func (e *explorer) intern(key []uint64) (int32, bool, error) {
-	// Shard by the HIGH hash bits: the shard table probes from the low
-	// bits, so taking ownership from them too would leave every key in a
-	// shard sharing its low bits and collapse the home slots to every
-	// 64th position (measured ~3x slower interning).
-	owner := enc.Hash(key) >> (64 - shardBits)
-	s := &e.shards[owner]
-	s.mu.Lock()
-	local, fresh := s.tab.Intern(key)
-	s.mu.Unlock()
-	if local > maxLocalID {
-		return 0, false, fmt.Errorf("%w: shard overflow", ErrStateSpaceTooLarge)
-	}
-	gid := int32(local)<<shardBits | int32(owner)
-	if fresh {
-		if int(e.total.Add(1)) > e.limit {
-			return 0, false, fmt.Errorf("%w: > %d states", ErrStateSpaceTooLarge, e.limit)
-		}
-	}
-	return gid, fresh, nil
-}
-
-// readState copies state gid's packed words into buf (the shard arena may
-// be reallocated concurrently, so the copy happens under the shard lock).
-func (e *explorer) readState(gid int32, buf []uint64) []uint64 {
-	s := &e.shards[gid&(1<<shardBits-1)]
-	s.mu.Lock()
-	src := s.tab.At(int(gid >> shardBits))
-	if cap(buf) < len(src) {
-		buf = make([]uint64, len(src))
-	}
-	buf = buf[:len(src)]
-	copy(buf, src)
-	s.mu.Unlock()
-	return buf
-}
-
-// scratch is one worker's reusable buffers; expansion does zero per-state
-// heap allocation once these are warm.
-type scratch struct {
+// expander is one worker's expansion scratch; expansion does zero per-state
+// heap allocation once the buffers are warm.
+type expander struct {
+	e       *explorer
 	stepper *core.Stepper
-	words   []uint64
-	key     []uint64
-	cd      []uint8
-	cdNext  []uint8
+	canon   *explore.Canon
 	cur     core.Config
 	next    core.Config
+	cd      []uint8
+	cdNext  []uint8
+	key     []uint64
+	key2    []uint64 // witness pass: canonicalization copy of a raw successor
 	active  []graph.NodeID
 	free    []int
 	edges   []stateEdge
 }
 
-func (e *explorer) newScratch() *scratch {
+func (e *explorer) newExpander() *expander {
 	g := e.p.Graph()
 	n, m := g.N(), g.M()
-	return &scratch{
+	ex := &expander{
+		e:       e,
 		stepper: core.NewStepper(e.p),
 		cd:      make([]uint8, n),
 		cdNext:  make([]uint8, n),
@@ -310,78 +303,101 @@ func (e *explorer) newScratch() *scratch {
 		active:  make([]graph.NodeID, 0, n),
 		free:    make([]int, 0, n),
 	}
+	if e.sym != nil {
+		ex.canon = e.sym.NewCanon()
+	}
+	return ex
 }
 
-// expand computes all admissible transitions out of state gid, interning
-// successors and queueing the newly discovered ones.
-func (e *explorer) expand(gid int32, sc *scratch) error {
-	g := e.p.Graph()
-	n := g.N()
-	sc.words = e.readState(gid, sc.words)
-	sc.cur.Labels = e.codec.UnpackLabels(sc.words, sc.cur.Labels)
-	sc.cd = e.codec.UnpackCountdown(sc.words, sc.cd)
+// eachSuccessor enumerates the raw successors of the state packed in words:
+// one transition per admissible activation set T ⊇ {i : x_i = 1}. visit
+// receives the packed raw successor in a reused buffer.
+func (ex *expander) eachSuccessor(words []uint64, visit func(raw []uint64) error) error {
+	e := ex.e
+	n := e.p.Graph().N()
+	ex.cur.Labels = e.codec.UnpackLabels(words, ex.cur.Labels)
+	ex.cd = e.codec.UnpackCountdown(words, ex.cd)
 	if e.trackOutputs {
-		sc.cur.Outputs = e.codec.UnpackOutputs(sc.words, sc.cur.Outputs)
+		ex.cur.Outputs = e.codec.UnpackOutputs(words, ex.cur.Outputs)
 	}
-
 	forced := 0
 	forcedMask := 0
-	for i, c := range sc.cd {
+	for i, c := range ex.cd {
 		if c == 1 {
 			forced++
 			forcedMask |= 1 << i
 		}
 	}
-	sc.free = sc.free[:0]
+	ex.free = ex.free[:0]
 	for i := 0; i < n; i++ {
 		if forcedMask&(1<<i) == 0 {
-			sc.free = append(sc.free, i)
+			ex.free = append(ex.free, i)
 		}
 	}
 	// Enumerate subsets of the free nodes; the activation set is
 	// forced ∪ subset, and must be nonempty.
-	for sub := 0; sub < 1<<len(sc.free); sub++ {
+	for sub := 0; sub < 1<<len(ex.free); sub++ {
 		if forced == 0 && sub == 0 {
 			continue
 		}
-		sc.active = sc.active[:0]
+		ex.active = ex.active[:0]
 		for i := 0; i < n; i++ {
 			if forcedMask&(1<<i) != 0 {
-				sc.active = append(sc.active, graph.NodeID(i))
+				ex.active = append(ex.active, graph.NodeID(i))
 			}
 		}
-		for bi, i := range sc.free {
+		for bi, i := range ex.free {
 			if sub&(1<<bi) != 0 {
-				sc.active = append(sc.active, graph.NodeID(i))
+				ex.active = append(ex.active, graph.NodeID(i))
 			}
 		}
-		sc.stepper.Step(e.x, sc.cur, &sc.next, sc.active)
-		for i := range sc.cdNext {
-			sc.cdNext[i] = sc.cd[i] - 1
+		ex.stepper.Step(e.x, ex.cur, &ex.next, ex.active)
+		for i := range ex.cdNext {
+			ex.cdNext[i] = ex.cd[i] - 1
 		}
-		for _, v := range sc.active {
-			sc.cdNext[v] = uint8(e.r)
+		for _, v := range ex.active {
+			ex.cdNext[v] = uint8(e.r)
 		}
-		sc.key = e.codec.Pack(sc.next.Labels, sc.cdNext, sc.next.Outputs, sc.key)
-		nid, fresh, err := e.intern(sc.key)
-		if err != nil {
+		ex.key = e.codec.Pack(ex.next.Labels, ex.cdNext, ex.next.Outputs, ex.key)
+		if err := visit(ex.key); err != nil {
 			return err
-		}
-		sc.edges = append(sc.edges, stateEdge{src: gid, dst: nid})
-		if fresh {
-			e.queue.push(nid)
 		}
 	}
 	return nil
 }
 
-// seed interns the initial vertices (ℓ, r^n) for every ℓ ∈ Σ^E.
-func (e *explorer) seed() error {
+// sectionChanged reports whether the compared section differs between a
+// state and its raw successor.
+func (e *explorer) sectionChanged(state, raw []uint64) bool {
+	if e.trackOutputs {
+		return !e.codec.OutputsEqual(state, raw)
+	}
+	return !e.codec.LabelsEqual(state, raw)
+}
+
+// Expand implements explore.Expander: intern every (canonicalized)
+// successor and record the transition with its section-change flag.
+func (ex *expander) Expand(gid int32, words []uint64, emit explore.Emit) error {
+	return ex.eachSuccessor(words, func(raw []uint64) error {
+		changed := ex.e.sectionChanged(words, raw)
+		key := raw
+		if ex.canon != nil {
+			key = ex.canon.Canonicalize(raw)
+		}
+		nid, _, err := emit(key)
+		if err != nil {
+			return err
+		}
+		ex.edges = append(ex.edges, stateEdge{src: gid, dst: nid, changed: changed})
+		return nil
+	})
+}
+
+// seed interns the (canonicalized) initial vertices (ℓ, r^n) for every
+// ℓ ∈ Σ^E, sweeping the enumeration across the worker pool.
+func (e *explorer) seed(emit explore.Emit) error {
 	g := e.p.Graph()
 	n, m := g.N(), g.M()
-	if tooMany(e.p.Space().Size(), m, e.limit) {
-		return fmt.Errorf("%w: |Σ|^m too large", ErrStateSpaceTooLarge)
-	}
 	cd := make([]uint8, n)
 	for i := range cd {
 		cd[i] = uint8(e.r)
@@ -390,87 +406,47 @@ func (e *explorer) seed() error {
 	// analysis only inspects states on cycles, where every node has been
 	// activated (countdowns force it), so the initial vector washes out.
 	outs := make([]core.Bit, n)
-	var key []uint64
-	return EnumerateLabelings(e.p.Space(), m, func(l core.Labeling) error {
-		key = e.codec.Pack(l, cd, outs, key)
-		gid, fresh, err := e.intern(key)
-		if err != nil {
-			return err
+	type seedScratch struct {
+		key   []uint64
+		canon *explore.Canon
+	}
+	pool := sync.Pool{New: func() any {
+		sc := &seedScratch{}
+		if e.sym != nil {
+			sc.canon = e.sym.NewCanon()
 		}
-		if fresh {
-			e.queue.push(gid)
+		return sc
+	}}
+	return explore.Labelings(e.p.Space(), m, e.workers, func(_ int, l core.Labeling) error {
+		sc := pool.Get().(*seedScratch)
+		defer pool.Put(sc)
+		sc.key = e.codec.Pack(l, cd, outs, sc.key)
+		key := sc.key
+		if sc.canon != nil {
+			key = sc.canon.Canonicalize(key)
 		}
-		return nil
+		_, _, err := emit(key)
+		return err
 	})
 }
 
-// explore runs the frontier-sharded BFS to a fixed point.
-func (e *explorer) explore(workers int) error {
-	if err := e.seed(); err != nil {
-		return err
-	}
-	workers = par.Workers(workers)
-	e.edges = make([][]stateEdge, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			sc := e.newScratch()
-			// Publishing into e.edges[w] is race-free: each worker owns its
-			// slot and wg.Wait orders the writes before the merge.
-			defer func() { e.edges[w] = sc.edges }()
-			for {
-				gid, ok := e.queue.pop()
-				if !ok {
-					return
-				}
-				err := e.expand(gid, sc)
-				e.queue.taskDone()
-				if err != nil {
-					e.queue.fail(err)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	return e.queue.failure()
+// explore runs the engine to a fixed point.
+func (e *explorer) explore() error {
+	return explore.Run(explore.Config{
+		Store:   e.store,
+		Workers: e.workers,
+		Limit:   e.limit,
+		Seed:    e.seed,
+		NewExpander: func(w int) explore.Expander {
+			ex := e.newExpander()
+			e.expanders[w] = ex
+			return ex
+		},
+	})
 }
 
-// compact assigns dense IDs (shard ranges laid out back to back) and
-// returns the total state count.
-func (e *explorer) compact() int {
-	e.base = make([]int32, len(e.shards)+1)
-	total := 0
-	for s := range e.shards {
-		e.base[s] = int32(total)
-		total += e.shards[s].tab.Len()
-	}
-	e.base[len(e.shards)] = int32(total)
-	return total
-}
-
-func (e *explorer) dense(gid int32) int32 {
-	return e.base[gid&(1<<shardBits-1)] + gid>>shardBits
-}
-
-// wordsOf returns the packed words of the state with dense ID d. Only safe
-// after exploration finished (no concurrent arena growth).
-func (e *explorer) wordsOf(d int32) []uint64 {
-	lo, hi := 0, len(e.shards)
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if e.base[mid] <= d {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return e.shards[lo].tab.At(int(d - e.base[lo]))
-}
-
-// csr is the explored states-graph in compressed sparse row form.
+// csr is the explored states-graph in compressed sparse row form, over
+// compacted (rank) state IDs.
 type csr struct {
 	rowStart []int32
 	dst      []int32
@@ -478,13 +454,13 @@ type csr struct {
 
 func (e *explorer) buildCSR(total int) csr {
 	nEdges := 0
-	for _, buf := range e.edges {
-		nEdges += len(buf)
+	for _, ex := range e.expanders {
+		nEdges += len(ex.edges)
 	}
 	rowStart := make([]int32, total+1)
-	for _, buf := range e.edges {
-		for _, ed := range buf {
-			rowStart[e.dense(ed.src)+1]++
+	for _, ex := range e.expanders {
+		for _, ed := range ex.edges {
+			rowStart[e.store.Rank(ed.src)+1]++
 		}
 	}
 	for i := 0; i < total; i++ {
@@ -492,10 +468,10 @@ func (e *explorer) buildCSR(total int) csr {
 	}
 	dst := make([]int32, nEdges)
 	fill := make([]int32, total)
-	for _, buf := range e.edges {
-		for _, ed := range buf {
-			s := e.dense(ed.src)
-			dst[rowStart[s]+fill[s]] = e.dense(ed.dst)
+	for _, ex := range e.expanders {
+		for _, ed := range ex.edges {
+			s := e.store.Rank(ed.src)
+			dst[rowStart[s]+fill[s]] = e.store.Rank(ed.dst)
 			fill[s]++
 		}
 	}
@@ -504,28 +480,21 @@ func (e *explorer) buildCSR(total int) csr {
 
 func (g csr) row(v int32) []int32 { return g.dst[g.rowStart[v]:g.rowStart[v+1]] }
 
-func (g csr) hasSelfLoop(v int32) bool {
-	for _, u := range g.row(v) {
-		if u == v {
-			return true
-		}
-	}
-	return false
-}
-
-// sccs runs iterative Tarjan over the CSR graph.
-func (g csr) sccs() [][]int32 {
+// sccs runs iterative Tarjan over the CSR graph and returns the component
+// index of every state plus the component count.
+func (g csr) sccs() ([]int32, int) {
 	const unvisited = -1
 	nStates := len(g.rowStart) - 1
 	index := make([]int32, nStates)
 	low := make([]int32, nStates)
+	comp := make([]int32, nStates)
 	onStack := make([]bool, nStates)
 	for i := range index {
 		index[i] = unvisited
 	}
 	var (
 		stack   []int32
-		comps   [][]int32
+		nComps  int
 		counter int32
 	)
 	type frame struct {
@@ -567,28 +536,41 @@ func (g csr) sccs() [][]int32 {
 				}
 			}
 			if low[v] == index[v] {
-				var comp []int32
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					onStack[w] = false
-					comp = append(comp, w)
+					comp[w] = int32(nComps)
 					if w == v {
 						break
 					}
 				}
-				comps = append(comps, comp)
+				nComps++
 			}
 		}
 	}
-	return comps
+	return comp, nComps
 }
 
-// stabilization runs the full check: explore, SCC-decompose, and scan every
-// cycle-bearing component for two states whose compared section (labels or
-// outputs) differs. The witness, when one exists, is the canonically
-// smallest violating pair under the packed order, so it is independent of
-// worker count and discovery order.
+// stabilization runs the full check: explore, SCC-decompose, and decide.
+//
+// Violation criterion: the protocol fails to stabilize iff some transition
+// *inside* an SCC changes the compared section (labels or outputs) between
+// its source state and its raw successor. Without quotienting this is
+// equivalent to the classic "two distinct sections inside a cycle-bearing
+// SCC" (an SCC whose internal transitions all preserve the section is
+// section-constant, and conversely two distinct sections in an SCC are
+// joined by internal transitions, one of which must change the section).
+// Under symmetry quotienting it remains exact where the classic check
+// breaks: a run that endlessly *rotates* a labeling around the ring maps
+// to a quotient self-loop on one canonical state, which state-pair
+// comparison would miss, but the raw successor of that canonical state
+// differs from it in the label section, so the edge is flagged. Lifting a
+// flagged quotient edge back to the full states-graph always yields a real
+// cycle through two section-distinct states (automorphisms have finite
+// order), and conversely a section-constant quotient SCC lifts only to
+// section-constant SCCs, so the verdict is identical with and without the
+// quotient.
 func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opts Options) (Decision, error) {
 	if r < 1 {
 		return Decision{}, errors.New("verify: r must be ≥ 1")
@@ -604,63 +586,112 @@ func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opt
 	if limit > 1<<30 {
 		limit = 1 << 30 // packed state IDs are int32
 	}
-	e := newExplorer(p, x, r, trackOutputs, limit)
-	if err := e.explore(opts.Workers); err != nil {
+	g := p.Graph()
+	if tooMany(p.Space().Size(), g.M(), limit) {
+		return Decision{}, fmt.Errorf("%w: |Σ|^m too large", ErrStateSpaceTooLarge)
+	}
+	e, err := newExplorer(p, x, r, trackOutputs, opts, limit)
+	if err != nil {
 		return Decision{}, err
 	}
-	total := e.compact()
-	sg := e.buildCSR(total)
-
-	equal := e.codec.LabelsEqual
-	compare := e.codec.CompareLabels
-	if trackOutputs {
-		equal = e.codec.OutputsEqual
-		compare = e.codec.CompareOutputs
+	if err := e.explore(); err != nil {
+		if errors.Is(err, explore.ErrLimit) {
+			return Decision{}, fmt.Errorf("%w: %v", ErrStateSpaceTooLarge, err)
+		}
+		return Decision{}, err
 	}
+	total := e.store.Compact()
+	sg := e.buildCSR(total)
+	comp, nComps := sg.sccs()
 
-	var bestA, bestB []uint64
-	for _, comp := range sg.sccs() {
-		if len(comp) == 1 && !sg.hasSelfLoop(comp[0]) {
-			continue // no cycle through this component
-		}
-		violating := false
-		first := e.wordsOf(comp[0])
-		for _, v := range comp[1:] {
-			if !equal(e.wordsOf(v), first) {
-				violating = true
-				break
-			}
-		}
-		if !violating {
-			continue
-		}
-		// Canonical witness inside this SCC: the smallest state section
-		// paired with the smallest section distinct from it.
-		minA := e.wordsOf(comp[0])
-		for _, v := range comp[1:] {
-			if w := e.wordsOf(v); compare(w, minA) < 0 {
-				minA = w
-			}
-		}
-		var minB []uint64
-		for _, v := range comp {
-			w := e.wordsOf(v)
-			if equal(w, minA) {
+	// A violating SCC contains an internal section-changing transition.
+	violating := make([]bool, nComps)
+	anyViolation := false
+	for _, ex := range e.expanders {
+		for _, ed := range ex.edges {
+			if !ed.changed {
 				continue
 			}
-			if minB == nil || compare(w, minB) < 0 {
-				minB = w
+			c := comp[e.store.Rank(ed.src)]
+			if c == comp[e.store.Rank(ed.dst)] {
+				violating[c] = true
+				anyViolation = true
 			}
 		}
-		if bestA == nil || less2(compare, minA, minB, bestA, bestB) {
-			bestA, bestB = minA, minB
+	}
+	dec := Decision{Stabilizing: !anyViolation, States: total, Quotient: e.sym.Order()}
+	if !anyViolation {
+		return dec, nil
+	}
+	w, err := e.witness(total, comp, violating)
+	if err != nil {
+		return Decision{}, err
+	}
+	dec.Witness = w
+	return dec, nil
+}
+
+// witness re-expands the states of every violating SCC and picks the
+// canonically smallest section-changing internal transition: the pair
+// (source section, raw-successor section), ordered within the pair and
+// then globally by the packed-section order. The choice depends only on
+// the explored state set, so it is identical across store backends and
+// worker counts. Both endpoints are genuine reachable states of the full
+// states-graph (canonical representatives are reachable because the seed
+// set and the transition relation are closed under the automorphism
+// group), and a section-changing internal transition always lies on a real
+// cycle, so the pair witnesses a genuine oscillation.
+func (e *explorer) witness(total int, comp []int32, violating []bool) (*Witness, error) {
+	compare := e.codec.CompareLabels
+	if e.trackOutputs {
+		compare = e.codec.CompareOutputs
+	}
+	ex := e.newExpander()
+	var stateBuf, bestA, bestB []uint64
+	for rank := int32(0); rank < int32(total); rank++ {
+		if !violating[comp[rank]] {
+			continue
+		}
+		state := e.store.WordsAt(rank, stateBuf)
+		stateBuf = state // reuse the materialization buffer next round
+		err := ex.eachSuccessor(state, func(raw []uint64) error {
+			if !e.sectionChanged(state, raw) {
+				return nil
+			}
+			key := raw
+			if ex.canon != nil {
+				// Canonicalize a copy: raw is still needed for the pair.
+				ex.key2 = append(ex.key2[:0], raw...)
+				key = ex.canon.Canonicalize(ex.key2)
+			}
+			// The successor is already interned (same expansion as the
+			// exploration), so this lookup never grows the store.
+			id, _, err := e.store.Intern(key)
+			if err != nil {
+				return err
+			}
+			if comp[e.store.Rank(id)] != comp[rank] {
+				return nil // transition leaves the SCC
+			}
+			a, b := state, raw
+			if compare(b, a) < 0 {
+				a, b = b, a
+			}
+			if bestA == nil || less2(compare, a, b, bestA, bestB) {
+				bestA = append(bestA[:0], a...)
+				bestB = append(bestB[:0], b...)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	if bestA == nil {
-		return Decision{Stabilizing: true, States: total}, nil
+		return nil, errors.New("verify: internal error: violating SCC without a changing transition")
 	}
 	w := &Witness{}
-	if trackOutputs {
+	if e.trackOutputs {
 		w.Outputs = [2][]core.Bit{
 			e.codec.UnpackOutputs(bestA, nil),
 			e.codec.UnpackOutputs(bestB, nil),
@@ -671,7 +702,7 @@ func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opt
 			e.codec.UnpackLabels(bestB, nil),
 		}
 	}
-	return Decision{Stabilizing: false, States: total, Witness: w}, nil
+	return w, nil
 }
 
 // less2 orders witness candidate pairs lexicographically.
@@ -690,8 +721,8 @@ func less2(compare func(a, b []uint64) int, a1, b1, a2, b2 []uint64) bool {
 // in the states-graph, whose infinitely-visited vertex set lies inside one
 // SCC. On a cycle the countdown forces every node to activate, so a cycle
 // whose labelings are all equal has a stable labeling; hence the protocol
-// fails to label r-stabilize iff some SCC containing a cycle contains two
-// distinct labelings.
+// fails to label r-stabilize iff some SCC contains an internal
+// label-changing transition.
 func LabelRStabilizing(p *core.Protocol, x core.Input, r int, limit int) (Decision, error) {
 	return LabelRStabilizingOpts(p, x, r, Options{Limit: limit})
 }
@@ -718,37 +749,42 @@ func OutputRStabilizingOpts(p *core.Protocol, x core.Input, r int, opts Options)
 // which every node emits the same label on all outgoing edges (cliques and
 // other "broadcast" protocols, e.g. best-response dynamics): any stable
 // labeling of such a protocol is per-node uniform, so it suffices to sweep
-// |Σ|^n per-node assignments instead of |Σ|^|E| labelings.
+// |Σ|^n per-node assignments instead of |Σ|^|E| labelings. The sweep fans
+// out over GOMAXPROCS workers; the result order is deterministic. See
+// StablePerNodeLabelingsWorkers for an explicit pool-size knob.
 func StablePerNodeLabelings(p *core.Protocol, x core.Input, limit int) ([]core.Labeling, error) {
+	return StablePerNodeLabelingsWorkers(p, x, limit, 0)
+}
+
+// StablePerNodeLabelingsWorkers is StablePerNodeLabelings on a bounded
+// worker pool (workers ≤ 0 means GOMAXPROCS).
+func StablePerNodeLabelingsWorkers(p *core.Protocol, x core.Input, limit, workers int) ([]core.Labeling, error) {
 	g := p.Graph()
 	n := g.N()
 	if tooMany(p.Space().Size(), n, limit) {
 		return nil, fmt.Errorf("%w: |Σ|^n = %d^%d", ErrStateSpaceTooLarge, p.Space().Size(), n)
 	}
-	size := p.Space().Size()
-	assign := make([]core.Label, n)
-	l := make(core.Labeling, g.M())
-	var out []core.Labeling
-	for {
+	pool := sync.Pool{New: func() any {
+		l := make(core.Labeling, g.M())
+		return &l
+	}}
+	chunks := make([][]core.Labeling, explore.ChunkCount(p.Space(), n))
+	err := explore.Labelings(p.Space(), n, workers, func(chunk int, assign core.Labeling) error {
+		lp := pool.Get().(*core.Labeling)
+		defer pool.Put(lp)
+		l := *lp
 		for v := 0; v < n; v++ {
 			for _, id := range g.Out(graph.NodeID(v)) {
 				l[id] = assign[v]
 			}
 		}
 		if core.IsStable(p, x, l) {
-			out = append(out, l.Clone())
+			chunks[chunk] = append(chunks[chunk], l.Clone())
 		}
-		i := 0
-		for i < n {
-			assign[i]++
-			if uint64(assign[i]) < size {
-				break
-			}
-			assign[i] = 0
-			i++
-		}
-		if i == n {
-			return out, nil
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return flattenChunks(chunks), nil
 }

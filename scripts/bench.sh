@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench.sh — run the verifier throughput benchmark and emit BENCH_verify.json:
+# states/s for every BenchmarkVerifyStatesGraph configuration (clique worker
+# counts, ring store × symmetry matrix). The checked-in BENCH_verify.json is
+# the perf-trajectory baseline; CI's bench-sanity job re-measures and fails
+# on a >2x regression (scripts/benchguard).
+#
+# Usage:
+#   scripts/bench.sh [output.json]       # default output: BENCH_verify.json
+#   BENCHTIME=10x scripts/bench.sh       # more iterations for a stable baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+OUT="${1:-BENCH_verify.json}"
+
+go test -run '^$' -bench BenchmarkVerifyStatesGraph -benchtime "$BENCHTIME" -count 1 . |
+  awk '
+    /^BenchmarkVerifyStatesGraph\// {
+      name = $1
+      sub(/^BenchmarkVerifyStatesGraph\//, "", name)
+      sub(/-[0-9]+$/, "", name)
+      rate = ""
+      for (i = 2; i < NF; i++) if ($(i + 1) == "states/s") rate = $i
+      if (rate != "") printf "%s\t%s\n", name, rate
+    }' |
+  {
+    printf '{\n  "benchmark": "BenchmarkVerifyStatesGraph",\n  "metric": "states/s",\n  "configs": {\n'
+    first=1
+    while IFS=$'\t' read -r name rate; do
+      [ "$first" -eq 0 ] && printf ',\n'
+      printf '    "%s": %s' "$name" "$rate"
+      first=0
+    done
+    printf '\n  }\n}\n'
+  } >"$OUT"
+
+echo "wrote $OUT" >&2
+cat "$OUT"

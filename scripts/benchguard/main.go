@@ -1,0 +1,91 @@
+// Command benchguard compares a freshly measured BENCH_verify.json (see
+// scripts/bench.sh) against the checked-in baseline and exits nonzero when
+// any configuration's states/s regressed by more than the allowed factor.
+// CI's bench-sanity job runs it on every push; the generous default factor
+// absorbs runner-speed variance while still catching algorithmic
+// regressions (a lost store fast path or a broken quotient shows up as
+// 5-10x, not 1.5x).
+//
+// Usage:
+//
+//	go run ./scripts/benchguard -baseline BENCH_verify.json -current /tmp/BENCH_current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchFile struct {
+	Benchmark string             `json:"benchmark"`
+	Metric    string             `json:"metric"`
+	Configs   map[string]float64 `json:"configs"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_verify.json", "checked-in baseline JSON")
+		currentPath  = fs.String("current", "", "freshly measured JSON")
+		maxRegress   = fs.Float64("max-regress", 2.0, "fail when baseline/current exceeds this factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *currentPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		return err
+	}
+	failed := false
+	for name, base := range baseline.Configs {
+		cur, ok := current.Configs[name]
+		if !ok {
+			fmt.Fprintf(stdout, "FAIL %-28s missing from current run\n", name)
+			failed = true
+			continue
+		}
+		ratio := base / cur
+		status := "ok  "
+		if cur <= 0 || ratio > *maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%s %-28s baseline %12.0f  current %12.0f  ratio %.2fx\n",
+			status, name, base, cur, ratio)
+	}
+	if failed {
+		return fmt.Errorf("states/s regressed by more than %.1fx on at least one config", *maxRegress)
+	}
+	return nil
+}
+
+func load(path string) (benchFile, error) {
+	var b benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Configs) == 0 {
+		return b, fmt.Errorf("%s: no configs", path)
+	}
+	return b, nil
+}
