@@ -6,6 +6,7 @@
 //
 //	verify -protocol example1 -n 3 -r 2
 //	verify -protocol bgp-disagree -r 2 -output
+//	verify -protocol example1 -n 4 -r 2 -progress
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"stateless/internal/bestresponse"
 	"stateless/internal/core"
@@ -22,21 +24,23 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	var (
-		name    = fs.String("protocol", "example1", "protocol: example1 | bgp-good | bgp-disagree | bgp-bad")
-		n       = fs.Int("n", 3, "clique size for example1")
-		r       = fs.Int("r", 2, "fairness parameter")
-		output  = fs.Bool("output", false, "check output stabilization instead of label stabilization")
-		limit   = fs.Int("limit", 1<<24, "state-space limit")
-		workers = fs.Int("workers", 0, "exploration worker-pool size (0 = GOMAXPROCS)")
+		name     = fs.String("protocol", "example1", "protocol: example1 | bgp-good | bgp-disagree | bgp-bad")
+		n        = fs.Int("n", 3, "clique size for example1")
+		r        = fs.Int("r", 2, "fairness parameter")
+		output   = fs.Bool("output", false, "check output stabilization instead of label stabilization")
+		limit    = fs.Int("limit", 1<<24, "state-space limit")
+		workers  = fs.Int("workers", 0, "exploration worker-pool size (0 = GOMAXPROCS)")
+		progress = fs.Bool("progress", false, "print exploration progress to stderr")
+		interval = fs.Duration("progress-interval", time.Second, "progress sampling period")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -76,6 +80,13 @@ func run(args []string, stdout io.Writer) error {
 
 	var dec verify.Decision
 	opts := verify.Options{Limit: *limit, Workers: *workers}
+	if *progress {
+		opts.ProgressInterval = *interval
+		opts.Progress = func(pr verify.Progress) {
+			fmt.Fprintf(stderr, "progress: %d states, %d expanded, frontier %d, %.0f states/s, %s\n",
+				pr.States, pr.Expanded, pr.Frontier, pr.StatesPerSec, pr.Elapsed.Round(time.Millisecond))
+		}
+	}
 	if *output {
 		dec, err = verify.OutputRStabilizingOpts(p, x, *r, opts)
 	} else {

@@ -21,8 +21,8 @@ func TestRunVerdicts(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(strings.Join(tc.args, " "), func(t *testing.T) {
-			var out bytes.Buffer
-			if err := run(tc.args, &out); err != nil {
+			var out, errOut bytes.Buffer
+			if err := run(tc.args, &out, &errOut); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(out.String(), tc.want) {
@@ -33,8 +33,28 @@ func TestRunVerdicts(t *testing.T) {
 }
 
 func TestRunStateLimit(t *testing.T) {
-	var out bytes.Buffer
-	if err := run([]string{"-protocol", "example1", "-n", "3", "-r", "2", "-limit", "10"}, &out); err == nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-protocol", "example1", "-n", "3", "-r", "2", "-limit", "10"}, &out, &errOut); err == nil {
 		t.Fatal("expected a state-space-limit error")
+	}
+}
+
+// TestRunProgress checks the -progress flag: snapshots land on stderr (at
+// minimum the final one, which always fires), the verdict stays on stdout.
+func TestRunProgress(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-protocol", "example1", "-n", "3", "-r", "2",
+		"-progress", "-progress-interval", "1ms"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "label 2-stabilizing: false") {
+		t.Fatalf("stdout missing verdict:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "progress:") || !strings.Contains(errOut.String(), "states/s") {
+		t.Fatalf("stderr missing progress lines:\n%s", errOut.String())
+	}
+	if strings.Contains(out.String(), "progress:") {
+		t.Fatalf("progress leaked onto stdout:\n%s", out.String())
 	}
 }

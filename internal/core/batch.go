@@ -1,0 +1,179 @@
+package core
+
+import "stateless/internal/graph"
+
+// ActivationSets is a flat arena of activation sets T ⊆ V: the sets a
+// batched expansion steps one configuration through. Sets are stored back
+// to back in one slice, so enumerating thousands of subsets per state does
+// zero allocation once the arena is warm. The zero value is ready to use;
+// Reset between states.
+type ActivationSets struct {
+	nodes []graph.NodeID
+	off   []int32
+}
+
+// Reset empties the arena, keeping its capacity.
+func (s *ActivationSets) Reset() {
+	s.nodes = s.nodes[:0]
+	s.off = s.off[:0]
+}
+
+// Len returns the number of sets.
+func (s *ActivationSets) Len() int {
+	if len(s.off) == 0 {
+		return 0
+	}
+	return len(s.off) - 1
+}
+
+// Set returns the i-th activation set. The slice aliases the arena; it is
+// valid until the next Reset.
+func (s *ActivationSets) Set(i int) []graph.NodeID {
+	return s.nodes[s.off[i]:s.off[i+1]]
+}
+
+// Begin opens a new set. Push nodes with Push; the set is complete when the
+// next Begin (or nothing) follows.
+func (s *ActivationSets) Begin() {
+	if len(s.off) == 0 {
+		s.off = append(s.off, 0)
+	}
+	s.off = append(s.off, int32(len(s.nodes)))
+}
+
+// Push appends a node to the set opened by the last Begin.
+func (s *ActivationSets) Push(v graph.NodeID) {
+	s.nodes = append(s.nodes, v)
+	s.off[len(s.off)-1] = int32(len(s.nodes))
+}
+
+// Append copies one complete activation set into the arena.
+func (s *ActivationSets) Append(set []graph.NodeID) {
+	s.Begin()
+	s.nodes = append(s.nodes, set...)
+	s.off[len(s.off)-1] = int32(len(s.nodes))
+}
+
+// ConfigBatch is a preallocated arena of successor configurations: the
+// labels and outputs of all successors of one state live in two contiguous
+// slabs, so a batched expansion writes straight-line memory and the
+// per-successor views need no per-call allocation.
+type ConfigBatch struct {
+	m, n  int
+	count int
+	// labels holds count×m labels (successor s at [s*m, (s+1)*m)); outputs
+	// holds count×n output bits.
+	labels  []Label
+	outputs []Bit
+}
+
+// NewConfigBatch returns an empty batch shaped for g.
+func NewConfigBatch(g *graph.Graph) *ConfigBatch {
+	return &ConfigBatch{m: g.M(), n: g.N()}
+}
+
+// reset sizes the batch for exactly count successors, reusing the slabs.
+func (b *ConfigBatch) reset(count int) {
+	b.count = count
+	if need := count * b.m; cap(b.labels) < need {
+		b.labels = make([]Label, need)
+	} else {
+		b.labels = b.labels[:need]
+	}
+	if need := count * b.n; cap(b.outputs) < need {
+		b.outputs = make([]Bit, need)
+	} else {
+		b.outputs = b.outputs[:need]
+	}
+}
+
+// Len returns the number of successors in the batch.
+func (b *ConfigBatch) Len() int { return b.count }
+
+// Labels returns successor i's labeling (aliases the arena).
+func (b *ConfigBatch) Labels(i int) Labeling { return b.labels[i*b.m : (i+1)*b.m] }
+
+// Outputs returns successor i's output vector (aliases the arena).
+func (b *ConfigBatch) Outputs(i int) []Bit { return b.outputs[i*b.n : (i+1)*b.n] }
+
+// LabelsFlat returns the whole label slab (count×m), the layout batch
+// packers (enc.Codec.PackBatch) consume directly.
+func (b *ConfigBatch) LabelsFlat() []Label { return b.labels }
+
+// OutputsFlat returns the whole output slab (count×n).
+func (b *ConfigBatch) OutputsFlat() []Bit { return b.outputs }
+
+// Reactions evaluates every node's reaction against the pre-step labeling
+// once, writing node v's out-going edge labels into labels (indexed by
+// EdgeID; every edge is written, since every edge has exactly one source)
+// and its output bit into outs (indexed by NodeID). It is the eager
+// counterpart of StepBatch's lazy per-set evaluation: when every node
+// appears in some activation set — as in states-graph expansion, where the
+// subsets of the non-forced nodes cover all of them — the n reaction values
+// fully determine every successor, and callers on a packed single-word
+// encoding can assemble successors by bit-patching without materializing
+// configurations at all (see internal/verify).
+//
+// Not safe for concurrent use (shares the Stepper's buffers).
+func (s *Stepper) Reactions(x Input, cur Config, labels []Label, outs []Bit) {
+	g := s.p.Graph()
+	for v := 0; v < g.N(); v++ {
+		node := graph.NodeID(v)
+		in := s.in[:g.InDegree(node)]
+		out := s.out[:g.OutDegree(node)]
+		outs[v] = s.p.React(node, cur.Labels, x[node], in, out)
+		for i, id := range g.Out(node) {
+			labels[id] = out[i]
+		}
+	}
+}
+
+// StepBatch applies the global transition function once per activation set,
+// writing successor s = δ(cur, x, sets.Set(s)) into the batch. It is
+// equivalent to calling Step for each set with a fresh next-configuration,
+// but computes every node's reaction at most once per call: δ_i is a pure
+// function of the pre-step labeling (the statelessness contract), so its
+// value is shared by every activation set containing i. Expanding all 2^n−1
+// activation sets of a state therefore costs n reactions instead of n·2^(n−1),
+// which is what lets the states-graph engine keep reaction evaluation out
+// of its per-successor loop.
+//
+// Not safe for concurrent use (shares the Stepper's buffers).
+func (s *Stepper) StepBatch(x Input, cur Config, sets *ActivationSets, batch *ConfigBatch) {
+	g := s.p.Graph()
+	n := g.N()
+	if cap(s.reactLabels) < g.M() {
+		s.reactLabels = make([]Label, g.M())
+		s.reactOuts = make([]Bit, n)
+		s.reacted = make([]bool, n)
+	}
+	s.reactLabels = s.reactLabels[:g.M()]
+	s.reactOuts = s.reactOuts[:n]
+	s.reacted = s.reacted[:n]
+	for i := range s.reacted {
+		s.reacted[i] = false
+	}
+	count := sets.Len()
+	batch.reset(count)
+	for si := 0; si < count; si++ {
+		dstL := batch.Labels(si)
+		dstO := batch.Outputs(si)
+		copy(dstL, cur.Labels)
+		copy(dstO, cur.Outputs)
+		for _, v := range sets.Set(si) {
+			if !s.reacted[v] {
+				in := s.in[:g.InDegree(v)]
+				out := s.out[:g.OutDegree(v)]
+				s.reactOuts[v] = s.p.React(v, cur.Labels, x[v], in, out)
+				for i, id := range g.Out(v) {
+					s.reactLabels[id] = out[i]
+				}
+				s.reacted[v] = true
+			}
+			for _, id := range g.Out(v) {
+				dstL[id] = s.reactLabels[id]
+			}
+			dstO[v] = s.reactOuts[v]
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// randomTabulated builds a protocol with independently tabulated random
+// reactions on g (binary labels), exercising multi-degree nodes.
+func randomTabulated(t *testing.T, g *graph.Graph, seed uint64) *core.Protocol {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xbadc))
+	n := g.N()
+	reactions := make([]core.Reaction, n)
+	for v := 0; v < n; v++ {
+		inDeg := g.InDegree(graph.NodeID(v))
+		outDeg := g.OutDegree(graph.NodeID(v))
+		rows := 1 << uint(inDeg+1)
+		table := make([][]core.Label, rows)
+		outputs := make([]core.Bit, rows)
+		for r := range table {
+			table[r] = make([]core.Label, outDeg)
+			for o := range table[r] {
+				table[r][o] = core.Label(rng.IntN(2))
+			}
+			outputs[r] = core.Bit(rng.IntN(2))
+		}
+		reactions[v] = func(in []core.Label, input core.Bit, out []core.Label) core.Bit {
+			idx := int(input)
+			for i, l := range in {
+				idx |= int(l&1) << uint(i+1)
+			}
+			copy(out, table[idx])
+			return outputs[idx]
+		}
+	}
+	p, err := core.NewProtocol(g, core.BinarySpace(), reactions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStepBatchMatchesStep pins StepBatch to repeated single Steps: for
+// random configurations and random collections of activation sets, every
+// batched successor must equal the successor Step produces for the same
+// set — including repeated nodes across sets (the react-once sharing) and
+// the empty-overlap bookkeeping between sets.
+func TestStepBatchMatchesStep(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Ring(5),
+		graph.BidirectionalRing(4),
+		graph.Clique(4),
+		graph.Path(4),
+	}
+	for gi, g := range graphs {
+		for seed := uint64(0); seed < 6; seed++ {
+			p := randomTabulated(t, g, seed+uint64(gi)*31)
+			rng := rand.New(rand.NewPCG(seed, uint64(gi)))
+			x := core.InputFromUint(rng.Uint64(), g.N())
+			stepper := core.NewStepper(p)
+			batch := core.NewConfigBatch(g)
+			var sets core.ActivationSets
+			for trial := 0; trial < 20; trial++ {
+				cur := core.NewConfig(g, core.RandomLabeling(g, p.Space(), rng))
+				for v := range cur.Outputs {
+					cur.Outputs[v] = core.Bit(rng.IntN(2))
+				}
+				sets.Reset()
+				nSets := 1 + rng.IntN(12)
+				for s := 0; s < nSets; s++ {
+					sets.Begin()
+					for v := 0; v < g.N(); v++ {
+						if rng.IntN(2) == 1 {
+							sets.Push(graph.NodeID(v))
+						}
+					}
+				}
+				stepper.StepBatch(x, cur, &sets, batch)
+				if batch.Len() != sets.Len() {
+					t.Fatalf("graph %d seed %d: batch has %d successors for %d sets", gi, seed, batch.Len(), sets.Len())
+				}
+				want := cur.Clone()
+				for s := 0; s < sets.Len(); s++ {
+					core.Step(p, x, cur, &want, sets.Set(s))
+					if !batch.Labels(s).Equal(want.Labels) {
+						t.Fatalf("graph %d seed %d trial %d set %d (%v): labels %v, want %v",
+							gi, seed, trial, s, sets.Set(s), batch.Labels(s), want.Labels)
+					}
+					for v, b := range batch.Outputs(s) {
+						if b != want.Outputs[v] {
+							t.Fatalf("graph %d seed %d trial %d set %d: output[%d] = %d, want %d",
+								gi, seed, trial, s, v, b, want.Outputs[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestActivationSetsArena checks the arena bookkeeping: Begin/Push and
+// Append must produce identical set views, and Reset must not leak sets.
+func TestActivationSetsArena(t *testing.T) {
+	var s core.ActivationSets
+	s.Begin() // empty set
+	s.Append([]graph.NodeID{2, 0})
+	s.Begin()
+	s.Push(1)
+	s.Push(3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	wants := [][]graph.NodeID{{}, {2, 0}, {1, 3}}
+	for i, want := range wants {
+		got := s.Set(i)
+		if len(got) != len(want) {
+			t.Fatalf("set %d = %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("set %d = %v, want %v", i, got, want)
+			}
+		}
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	s.Append([]graph.NodeID{4})
+	if s.Len() != 1 || len(s.Set(0)) != 1 || s.Set(0)[0] != 4 {
+		t.Fatalf("arena reuse broken: %v", s.Set(0))
+	}
+}

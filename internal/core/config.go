@@ -164,6 +164,13 @@ type Stepper struct {
 	p   *Protocol
 	in  []Label
 	out []Label
+
+	// StepBatch scratch: each node's reaction is evaluated at most once per
+	// batch; reactLabels is indexed by EdgeID (a node's reaction writes its
+	// out-edges), reactOuts/reacted by NodeID.
+	reactLabels []Label
+	reactOuts   []Bit
+	reacted     []bool
 }
 
 // NewStepper returns a Stepper for p with buffers sized to its maximum

@@ -175,6 +175,65 @@ func (c *Codec) Pack(l core.Labeling, cd []uint8, out []core.Bit, dst []uint64) 
 	return dst
 }
 
+// PackBatch packs count states stored flat — labels count×m, cd count×n,
+// out count×n (nil when the codec has no countdown/output section) — into
+// dst as count Words()-word keys back to back, and returns the block
+// (reused when large enough). It is the batch counterpart of Pack: state s
+// occupies dst[s*Words() : (s+1)*Words()], bit-identical to packing each
+// row with Pack. Single-word layouts (the common case for the dense store)
+// take an accumulator fast path that packs a whole state without per-field
+// calls or intermediate stores, which is what keeps packing out of the
+// states-graph engine's per-successor profile.
+func (c *Codec) PackBatch(count int, l core.Labeling, cd []uint8, out []core.Bit, dst []uint64) []uint64 {
+	need := count * c.words
+	if cap(dst) < need {
+		dst = make([]uint64, need)
+	} else {
+		dst = dst[:need]
+	}
+	if c.words == 1 {
+		lMask, cdMask := maskOf(c.labelBits), maskOf(c.cdBits)
+		lBits, cdBits := int(c.labelBits), int(c.cdBits)
+		li, ci, oi := 0, 0, 0
+		for s := 0; s < count; s++ {
+			var w uint64
+			off := 0
+			for e := 0; e < c.m; e++ {
+				w |= (uint64(l[li]) & lMask) << uint(off)
+				off += lBits
+				li++
+			}
+			for v := 0; v < c.n; v++ {
+				w |= (uint64(cd[ci]) & cdMask) << uint(off)
+				off += cdBits
+				ci++
+			}
+			if c.outputs {
+				for v := 0; v < c.n; v++ {
+					w |= uint64(out[oi]&1) << uint(off)
+					off++
+					oi++
+				}
+			}
+			dst[s] = w
+		}
+		return dst
+	}
+	for s := 0; s < count; s++ {
+		row := dst[s*c.words : (s+1)*c.words]
+		var cdRow []uint8
+		if c.n > 0 {
+			cdRow = cd[s*c.n : (s+1)*c.n]
+		}
+		var outRow []core.Bit
+		if c.outputs {
+			outRow = out[s*c.n : (s+1)*c.n]
+		}
+		c.Pack(l[s*c.m:(s+1)*c.m], cdRow, outRow, row)
+	}
+	return dst
+}
+
 // UnpackLabels decodes the labels section into dst (reused when large
 // enough) and returns it.
 func (c *Codec) UnpackLabels(src []uint64, dst core.Labeling) core.Labeling {

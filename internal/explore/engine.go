@@ -1,23 +1,116 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stateless/internal/par"
 )
 
-// Emit interns a successor key into the run's store, enforces the state
-// budget, and queues the state for expansion when it is new. Safe for
-// concurrent use.
+// ErrCanceled is returned by Run when its context is canceled. The check
+// runs once per expanded batch (not per successor), so cancellation costs
+// nothing on the hot path and still lands within one state's expansion.
+var ErrCanceled = errors.New("explore: run canceled")
+
+// Emit interns a single key into the run's store, enforces the state
+// budget, and queues the state for expansion when it is new. It is the
+// seeding entry point (Config.Seed); the worker hot path moves whole
+// batches instead. Safe for concurrent use.
 type Emit func(key []uint64) (id int32, fresh bool, err error)
 
-// Expander expands one state: given its ID and packed words it must call
-// emit once per successor. One Expander is created per worker, so
-// implementations may keep scratch buffers without locking.
+// Batch is one worker's reusable successor buffer: the packed keys of all
+// successors of one state, stored back to back, plus the per-key intern
+// results the engine fills in before handing the batch back to the
+// expander. A Batch is owned by a single worker; none of its methods are
+// safe for concurrent use.
+type Batch struct {
+	wpk   int
+	count int
+	keys  []uint64
+	// IDs and Fresh are valid from the engine's intern pass until the next
+	// Reset: IDs[i] is the store ID of key i, Fresh[i] whether this batch
+	// interned it first.
+	IDs   []int32
+	Fresh []bool
+}
+
+// NewBatch returns an empty batch for keys of wordsPerKey words.
+func NewBatch(wordsPerKey int) *Batch {
+	return &Batch{wpk: wordsPerKey}
+}
+
+// Reset empties the batch, keeping its capacity.
+func (b *Batch) Reset() { b.count = 0 }
+
+// Len returns the number of keys in the batch.
+func (b *Batch) Len() int { return b.count }
+
+// WordsPerKey returns the key width.
+func (b *Batch) WordsPerKey() int { return b.wpk }
+
+// Alloc sizes the batch for exactly count keys and returns the backing
+// block of count·WordsPerKey words for direct filling (the shape
+// enc.Codec.PackBatch produces). The block's previous contents are
+// arbitrary; callers overwrite every word.
+func (b *Batch) Alloc(count int) []uint64 {
+	b.count = count
+	if need := count * b.wpk; cap(b.keys) < need {
+		b.keys = make([]uint64, need)
+	} else {
+		b.keys = b.keys[:need]
+	}
+	return b.keys
+}
+
+// Append copies one key into the batch — the convenience path for sparse
+// expanders that produce successors one at a time.
+func (b *Batch) Append(key []uint64) {
+	if need := (b.count + 1) * b.wpk; cap(b.keys) >= need {
+		b.keys = b.keys[:need]
+		copy(b.keys[b.count*b.wpk:], key)
+	} else {
+		b.keys = append(b.keys[:b.count*b.wpk], key...)
+	}
+	b.count++
+}
+
+// Key returns the i-th key (aliases the batch block).
+func (b *Batch) Key(i int) []uint64 { return b.keys[i*b.wpk : (i+1)*b.wpk] }
+
+// Block returns the whole packed block (count·WordsPerKey words).
+func (b *Batch) Block() []uint64 { return b.keys[:b.count*b.wpk] }
+
+// Expander expands states in batches. One Expander is created per worker,
+// so implementations may keep scratch buffers without locking.
 type Expander interface {
-	Expand(id int32, words []uint64, emit Emit) error
+	// Expand appends every successor key of the state (id, words) to the
+	// batch (Alloc for block fills, Append for one-at-a-time). The batch
+	// arrives Reset; the engine interns its keys afterwards.
+	Expand(id int32, words []uint64, b *Batch) error
+	// Absorb runs after the engine has interned the batch: b.IDs and
+	// b.Fresh hold each key's store ID and freshness, index-aligned with
+	// the keys Expand produced. Implementations record transitions here;
+	// expanders that only need the visited set can make it a no-op.
+	Absorb(id int32, b *Batch) error
+}
+
+// Progress is a snapshot of a running exploration, delivered to
+// Config.Progress. All counters are cumulative since Run started.
+type Progress struct {
+	// States is the number of distinct states interned.
+	States int64
+	// Expanded is the number of states fully expanded.
+	Expanded int64
+	// Frontier is the number of states discovered but not yet expanded.
+	Frontier int
+	// Elapsed is the wall time since Run started.
+	Elapsed time.Duration
+	// StatesPerSec is the cumulative interning rate (States/Elapsed).
+	StatesPerSec float64
 }
 
 // Config describes one BFS run.
@@ -35,56 +128,195 @@ type Config struct {
 	Seed func(emit Emit) error
 	// NewExpander builds worker w's expander.
 	NewExpander func(w int) Expander
+	// Ctx cancels the run: workers check it once per batch and Run returns
+	// an ErrCanceled-wrapped error. nil means never canceled.
+	Ctx context.Context
+	// MaxBatch chunks the engine's intern/enqueue pass: at most MaxBatch
+	// successors are interned and queued per store round-trip. ≤ 0 means
+	// whole-batch (one round-trip per expanded state). Verdict-relevant
+	// results are identical for every setting; the knob exists to bound
+	// latency between discovery and enqueueing and to let tests sweep
+	// batch granularity.
+	MaxBatch int
+	// Progress, when non-nil, receives periodic snapshots (every
+	// ProgressInterval) from a sampler goroutine plus one final snapshot
+	// after the run completes. Callbacks may fire concurrently with
+	// workers; they only read atomic counters.
+	Progress func(Progress)
+	// ProgressInterval is the sampling period (≤ 0 means 1s).
+	ProgressInterval time.Duration
+}
+
+// run is the engine's shared mutable state.
+type run struct {
+	cfg      Config
+	queue    *workQueue
+	total    atomic.Int64 // distinct states interned
+	expanded atomic.Int64 // states fully expanded
+	start    time.Time
 }
 
 // Run drives a parallel BFS to its fixed point: seed states and every key
 // emitted during expansion are interned exactly once, and every fresh state
 // is expanded exactly once. The visited set — and therefore the verdict of
-// any analysis over it — is independent of worker count and scheduling.
+// any analysis over it — is independent of worker count, scheduling, and
+// batch granularity.
 func Run(cfg Config) error {
-	queue := newWorkQueue()
-	var total atomic.Int64
-	emit := func(key []uint64) (int32, bool, error) {
-		id, fresh, err := cfg.Store.Intern(key)
-		if err != nil {
-			return 0, false, err
-		}
-		if fresh {
-			if cfg.Limit > 0 && int(total.Add(1)) > cfg.Limit {
-				return 0, false, fmt.Errorf("%w: > %d states", ErrLimit, cfg.Limit)
-			}
-			queue.push(id)
-		}
-		return id, fresh, nil
+	r := &run{cfg: cfg, queue: newWorkQueue(), start: time.Now()}
+	if cfg.Progress != nil {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go r.sampleProgress(stop, done)
+		defer func() {
+			close(stop)
+			<-done
+			cfg.Progress(r.snapshot()) // final totals
+		}()
 	}
-	if err := cfg.Seed(emit); err != nil {
+	if err := r.canceled(); err != nil {
+		return err
+	}
+	if err := cfg.Seed(r.emit); err != nil {
 		return err
 	}
 	workers := par.Workers(cfg.Workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			ex := cfg.NewExpander(w)
-			var words []uint64
-			for {
-				id, ok := queue.pop()
-				if !ok {
-					return
-				}
-				words = cfg.Store.Read(id, words)
-				err := ex.Expand(id, words, emit)
-				queue.taskDone()
-				if err != nil {
-					queue.fail(err)
-					return
-				}
-			}
-		}(w)
+		go r.worker(w, &wg)
 	}
 	wg.Wait()
-	return queue.failure()
+	return r.queue.failure()
+}
+
+// canceled maps the context state to the engine's cancellation error.
+func (r *run) canceled() error {
+	if r.cfg.Ctx == nil {
+		return nil
+	}
+	if err := r.cfg.Ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// emit is the single-key intern path used for seeding.
+func (r *run) emit(key []uint64) (int32, bool, error) {
+	id, fresh, err := r.cfg.Store.Intern(key)
+	if err != nil {
+		return 0, false, err
+	}
+	if fresh {
+		if total := int(r.total.Add(1)); r.cfg.Limit > 0 && total > r.cfg.Limit {
+			return 0, false, fmt.Errorf("%w: > %d states", ErrLimit, r.cfg.Limit)
+		}
+		r.queue.push(id)
+	}
+	return id, fresh, nil
+}
+
+// worker is one expansion loop: pop a state, expand it into the batch,
+// intern the batch, hand the results back to the expander.
+func (r *run) worker(w int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ex := r.cfg.NewExpander(w)
+	batch := NewBatch(r.cfg.Store.Words())
+	var words []uint64
+	for {
+		id, ok := r.queue.pop()
+		if !ok {
+			return
+		}
+		if err := r.canceled(); err != nil {
+			r.queue.taskDone()
+			r.queue.fail(err)
+			return
+		}
+		words = r.cfg.Store.Read(id, words)
+		batch.Reset()
+		err := ex.Expand(id, words, batch)
+		if err == nil {
+			err = r.internBatch(batch)
+		}
+		if err == nil {
+			err = ex.Absorb(id, batch)
+		}
+		r.expanded.Add(1)
+		r.queue.taskDone()
+		if err != nil {
+			r.queue.fail(err)
+			return
+		}
+	}
+}
+
+// internBatch interns the batch's keys (in MaxBatch-sized chunks), filling
+// IDs/Fresh, charging fresh states against the limit, and enqueueing them.
+func (r *run) internBatch(b *Batch) error {
+	count := b.Len()
+	if cap(b.IDs) < count {
+		b.IDs = make([]int32, count)
+		b.Fresh = make([]bool, count)
+	}
+	b.IDs = b.IDs[:count]
+	b.Fresh = b.Fresh[:count]
+	step := r.cfg.MaxBatch
+	if step <= 0 {
+		step = count
+	}
+	for from := 0; from < count; from += step {
+		to := min(from+step, count)
+		if err := r.cfg.Store.InternBatch(b.keys[from*b.wpk:to*b.wpk], b.IDs[from:to], b.Fresh[from:to]); err != nil {
+			return err
+		}
+		freshCount := 0
+		for i := from; i < to; i++ {
+			if b.Fresh[i] {
+				freshCount++
+			}
+		}
+		if freshCount == 0 {
+			continue
+		}
+		if total := int(r.total.Add(int64(freshCount))); r.cfg.Limit > 0 && total > r.cfg.Limit {
+			return fmt.Errorf("%w: > %d states", ErrLimit, r.cfg.Limit)
+		}
+		r.queue.pushFresh(b.IDs[from:to], b.Fresh[from:to])
+	}
+	return nil
+}
+
+// snapshot reads the progress counters.
+func (r *run) snapshot() Progress {
+	p := Progress{
+		States:   r.total.Load(),
+		Expanded: r.expanded.Load(),
+		Frontier: r.queue.depth(),
+		Elapsed:  time.Since(r.start),
+	}
+	if s := p.Elapsed.Seconds(); s > 0 {
+		p.StatesPerSec = float64(p.States) / s
+	}
+	return p
+}
+
+// sampleProgress delivers periodic snapshots until stopped.
+func (r *run) sampleProgress(stop, done chan struct{}) {
+	defer close(done)
+	interval := r.cfg.ProgressInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			r.cfg.Progress(r.snapshot())
+		}
+	}
 }
 
 // workQueue is an unbounded multi-producer multi-consumer queue of state
@@ -113,6 +345,20 @@ func (q *workQueue) push(id int32) {
 	q.mu.Unlock()
 }
 
+// pushFresh enqueues ids[i] for every fresh[i] under one lock acquisition —
+// the batch counterpart of push.
+func (q *workQueue) pushFresh(ids []int32, fresh []bool) {
+	q.mu.Lock()
+	for i, id := range ids {
+		if fresh[i] {
+			q.items = append(q.items, id)
+			q.pending++
+		}
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
 func (q *workQueue) pop() (int32, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -125,6 +371,13 @@ func (q *workQueue) pop() (int32, bool) {
 	id := q.items[len(q.items)-1]
 	q.items = q.items[:len(q.items)-1]
 	return id, true
+}
+
+// depth returns the number of queued (not yet popped) states.
+func (q *workQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
 }
 
 func (q *workQueue) taskDone() {

@@ -1,9 +1,12 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"math/rand/v2"
 	"sync"
 	"testing"
+	"time"
 
 	"stateless/internal/core"
 	"stateless/internal/enc"
@@ -118,22 +121,28 @@ func TestDenseStoreConcurrent(t *testing.T) {
 // countingExpander walks a synthetic successor function over [0, n): state k
 // has successors (2k)%n and (2k+3)%n.
 type countingExpander struct {
-	n uint64
-	mu *sync.Mutex
+	n        uint64
+	mu       *sync.Mutex
 	expanded map[uint64]int
+	absorbed int
 }
 
-func (c *countingExpander) Expand(id int32, words []uint64, emit Emit) error {
+func (c *countingExpander) Expand(id int32, words []uint64, b *Batch) error {
 	c.mu.Lock()
 	c.expanded[words[0]]++
 	c.mu.Unlock()
 	key := make([]uint64, 1)
 	for _, succ := range []uint64{(2 * words[0]) % c.n, (2*words[0] + 3) % c.n} {
 		key[0] = succ
-		if _, _, err := emit(key); err != nil {
-			return err
-		}
+		b.Append(key)
 	}
+	return nil
+}
+
+func (c *countingExpander) Absorb(id int32, b *Batch) error {
+	c.mu.Lock()
+	c.absorbed += b.Len()
+	c.mu.Unlock()
 	return nil
 }
 
@@ -460,4 +469,296 @@ func TestCanonicalizeFastMatchesSlow(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestInternBatchMatchesIntern feeds the same key stream — duplicates
+// inside batches included — through per-key Intern on one store and
+// InternBatch on another, for both backends: IDs, freshness, and the final
+// visited set must agree.
+func TestInternBatchMatchesIntern(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 4))
+	for name, mk := range map[string]func() Store{
+		"dense": func() Store { return NewDense(12) },
+		"hash":  func() Store { return NewHash(1) },
+	} {
+		single, batched := mk(), mk()
+		for round := 0; round < 200; round++ {
+			count := 1 + rng.IntN(80)
+			block := make([]uint64, count)
+			for i := range block {
+				block[i] = rng.Uint64N(1 << 12)
+			}
+			if count > 2 && rng.IntN(2) == 0 {
+				block[count-1] = block[0] // force an in-batch duplicate
+			}
+			ids := make([]int32, count)
+			fresh := make([]bool, count)
+			if err := batched.InternBatch(block, ids, fresh); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < count; i++ {
+				id, fr, err := single.Intern(block[i : i+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if id != ids[i] || fr != fresh[i] {
+					t.Fatalf("%s round %d key %d (%d): batch (%d,%v) vs single (%d,%v)",
+						name, round, i, block[i], ids[i], fresh[i], id, fr)
+				}
+			}
+		}
+		if single.Len() != batched.Len() {
+			t.Fatalf("%s: Len %d (single) vs %d (batched)", name, single.Len(), batched.Len())
+		}
+	}
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Run(Config{
+		Store:   NewDense(10),
+		Workers: 2,
+		Ctx:     ctx,
+		Seed: func(emit Emit) error {
+			_, _, err := emit([]uint64{1})
+			return err
+		},
+		NewExpander: func(int) Expander {
+			return &countingExpander{n: 1 << 10, mu: &sync.Mutex{}, expanded: map[uint64]int{}}
+		},
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled context: err = %v, want ErrCanceled", err)
+	}
+}
+
+// cancelingExpander cancels the context after expanding k states.
+type cancelingExpander struct {
+	countingExpander
+	cancel   func()
+	after    int
+	expandsN int
+}
+
+func (c *cancelingExpander) Expand(id int32, words []uint64, b *Batch) error {
+	c.expandsN++
+	if c.expandsN == c.after {
+		c.cancel()
+	}
+	return c.countingExpander.Expand(id, words, b)
+}
+
+func TestRunCanceledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := Run(Config{
+		Store:   NewDense(10),
+		Workers: 1,
+		Ctx:     ctx,
+		Seed: func(emit Emit) error {
+			_, _, err := emit([]uint64{1})
+			return err
+		},
+		NewExpander: func(int) Expander {
+			return &cancelingExpander{
+				countingExpander: countingExpander{n: 1 << 10, mu: &sync.Mutex{}, expanded: map[uint64]int{}},
+				cancel:           cancel,
+				after:            3,
+			}
+		},
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-run cancel: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestRunBatchGranularityInvariant sweeps MaxBatch: the visited set and
+// per-state expansion counts must be identical for every chunking.
+func TestRunBatchGranularityInvariant(t *testing.T) {
+	var refSet map[uint64]int
+	for _, maxBatch := range []int{0, 1, 2, 7, 64} {
+		for _, workers := range []int{1, 4} {
+			mu := &sync.Mutex{}
+			expanded := map[uint64]int{}
+			store := NewDense(10)
+			err := Run(Config{
+				Store:    store,
+				Workers:  workers,
+				Limit:    1 << 10,
+				MaxBatch: maxBatch,
+				Seed: func(emit Emit) error {
+					_, _, err := emit([]uint64{1})
+					return err
+				},
+				NewExpander: func(int) Expander {
+					return &countingExpander{n: 1 << 10, mu: mu, expanded: expanded}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, c := range expanded {
+				if c != 1 {
+					t.Fatalf("maxBatch=%d workers=%d: state %d expanded %d times", maxBatch, workers, k, c)
+				}
+			}
+			if refSet == nil {
+				refSet = expanded
+				continue
+			}
+			if len(expanded) != len(refSet) {
+				t.Fatalf("maxBatch=%d workers=%d: %d states vs reference %d", maxBatch, workers, len(expanded), len(refSet))
+			}
+			for k := range refSet {
+				if expanded[k] != 1 {
+					t.Fatalf("maxBatch=%d workers=%d: reference state %d missing", maxBatch, workers, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var mu sync.Mutex
+	var snaps []Progress
+	mu.Lock() // released only after Run returns; callbacks contend fairly
+	mu.Unlock()
+	err := Run(Config{
+		Store:   NewDense(10),
+		Workers: 2,
+		Seed: func(emit Emit) error {
+			_, _, err := emit([]uint64{1})
+			return err
+		},
+		NewExpander: func(int) Expander {
+			return &countingExpander{n: 1 << 10, mu: &sync.Mutex{}, expanded: map[uint64]int{}}
+		},
+		Progress:         func(p Progress) { mu.Lock(); snaps = append(snaps, p); mu.Unlock() },
+		ProgressInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots delivered")
+	}
+	final := snaps[len(snaps)-1]
+	if final.States == 0 || final.Expanded != final.States || final.Frontier != 0 {
+		t.Fatalf("final snapshot inconsistent: %+v", final)
+	}
+	if final.StatesPerSec <= 0 {
+		t.Fatalf("final snapshot has no rate: %+v", final)
+	}
+}
+
+// TestCanonicalizeBatchMatchesSingle pins the batch canonicalizer to the
+// per-key path on random blocks, for both the single-word table path and
+// the multi-word generic path.
+func TestCanonicalizeBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	for _, tc := range []struct {
+		n int
+		q uint64
+	}{{5, 3}, {6, 3}, {7, 2}, {16, 4}} { // 16 nodes × 2-bit labels + countdowns → multi-word
+		sym, codec := ringSymmetry(t, tc.n, tc.q, 3, true)
+		canon := sym.NewCanon()
+		labels := make(core.Labeling, tc.n)
+		cd := make([]uint8, tc.n)
+		out := make([]core.Bit, tc.n)
+		for trial := 0; trial < 50; trial++ {
+			count := 1 + rng.IntN(64)
+			block := make([]uint64, 0, count*codec.Words())
+			for s := 0; s < count; s++ {
+				for i := 0; i < tc.n; i++ {
+					labels[i] = core.Label(rng.Uint64N(tc.q))
+					cd[i] = uint8(rng.IntN(4))
+					out[i] = core.Bit(rng.IntN(2))
+				}
+				block = append(block, codec.Pack(labels, cd, out, nil)...)
+			}
+			want := append([]uint64(nil), block...)
+			for s := 0; s < count; s++ {
+				canon.Canonicalize(want[s*codec.Words() : (s+1)*codec.Words()])
+			}
+			canon.CanonicalizeBatch(block, count)
+			for i := range block {
+				if block[i] != want[i] {
+					t.Fatalf("n=%d q=%d trial %d word %d: batch %x != single %x", tc.n, tc.q, trial, i, block[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzBatchPackCanonRoundTrip fuzzes the whole batch hot path against the
+// single-state one: a block of 5-ring states is batch-packed, batch-
+// canonicalized, and unpacked; every stage must agree with per-state Pack
+// → Canonicalize → Unpack.
+func FuzzBatchPackCanonRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint16(0))
+	f.Add(uint64(0x123456789abcdef), uint16(0x5a5a))
+	f.Fuzz(func(t *testing.T, rawA uint64, rawB uint16) {
+		const n, q, r = 5, 3, 2
+		sym, codec := func() (*Symmetry, *enc.Codec) {
+			g := graph.Ring(n)
+			p, err := core.NewUniformProtocol(g, core.MustLabelSpace(q),
+				func(in []core.Label, _ core.Bit, out []core.Label) core.Bit { out[0] = in[0]; return 0 })
+			if err != nil {
+				t.Fatal(err)
+			}
+			codec := enc.NewStateCodec(p.Space(), n, n, r, false)
+			return NewSymmetry(p, make(core.Input, n), codec), codec
+		}()
+		if sym == nil {
+			t.Fatal("ring symmetry inapplicable")
+		}
+		// Derive a small batch of states from the fuzz words.
+		const count = 3
+		labels := make(core.Labeling, count*n)
+		cds := make([]uint8, count*n)
+		for i := range labels {
+			labels[i] = core.Label((rawA >> (2 * uint(i))) % q)
+			cds[i] = uint8((uint64(rawB) >> uint(i%16)) % (r + 1))
+		}
+		block := codec.PackBatch(count, labels, cds, nil, nil)
+		canon := sym.NewCanon()
+		// Reference: per-state single path.
+		var wantKey []uint64
+		for s := 0; s < count; s++ {
+			wantKey = codec.Pack(labels[s*n:(s+1)*n], cds[s*n:(s+1)*n], nil, wantKey)
+			if wantKey[0] != block[s] {
+				t.Fatalf("state %d: batch pack %x != single pack %x", s, block[s], wantKey[0])
+			}
+			canon.Canonicalize(wantKey)
+			gotKey := append([]uint64(nil), block[s:s+1]...)
+			canon.CanonicalizeBatch(gotKey, 1)
+			if gotKey[0] != wantKey[0] {
+				t.Fatalf("state %d: batch canon %x != single canon %x", s, gotKey[0], wantKey[0])
+			}
+			// Round-trip: unpacked canonical labels must rotate back into
+			// the original orbit (same multiset of labels for a rotation).
+			gotLabels := codec.UnpackLabels(gotKey, nil)
+			var sumGot, sumWant uint64
+			for i := 0; i < n; i++ {
+				sumGot += uint64(gotLabels[i])
+				sumWant += uint64(labels[s*n+i])
+			}
+			if sumGot != sumWant {
+				t.Fatalf("state %d: canonical labels %v are not a permutation of %v", s, gotLabels, labels[s*n:(s+1)*n])
+			}
+		}
+		// Batch canonicalize the whole block and compare against the
+		// per-state canonical forms.
+		canon.CanonicalizeBatch(block, count)
+		for s := 0; s < count; s++ {
+			single := codec.Pack(labels[s*n:(s+1)*n], cds[s*n:(s+1)*n], nil, wantKey)
+			canon.Canonicalize(single)
+			if block[s] != single[0] {
+				t.Fatalf("state %d: block canon %x != single canon %x", s, block[s], single[0])
+			}
+		}
+	})
 }

@@ -49,9 +49,19 @@ var ErrLimit = errors.New("explore: state limit exceeded")
 // itself, the hash store a shard-encoded index); Compact freezes the store
 // and exposes a dense 0-based ranking for post-exploration graph analysis.
 type Store interface {
+	// Words returns the number of uint64 words per key.
+	Words() int
 	// Intern adds key and returns its ID plus whether it was new.
 	// Safe for concurrent use.
 	Intern(key []uint64) (id int32, fresh bool, err error)
+	// InternBatch interns len(ids) keys stored back to back in block
+	// (len(ids)·Words() words), writing each key's ID and freshness into
+	// ids[i] / fresh[i]. Equivalent to len(ids) Intern calls — duplicates
+	// within a batch resolve to one ID with exactly one fresh=true — but
+	// lets the store amortize per-key overhead (the hash store takes each
+	// shard lock once per batch instead of once per key). Safe for
+	// concurrent use.
+	InternBatch(block []uint64, ids []int32, fresh []bool) error
 	// Read copies the packed words of id into buf (reused when large
 	// enough). Safe for concurrent use with Intern.
 	Read(id int32, buf []uint64) []uint64
@@ -106,6 +116,9 @@ func NewDense(width int) *Dense {
 	return &Dense{bits: width, visited: make([]atomic.Uint64, words)}
 }
 
+// Words returns 1: dense keys are single-word by construction.
+func (d *Dense) Words() int { return 1 }
+
 // Intern marks key visited. The ID is the packed value itself.
 func (d *Dense) Intern(key []uint64) (int32, bool, error) {
 	k := key[0]
@@ -121,6 +134,33 @@ func (d *Dense) Intern(key []uint64) (int32, bool, error) {
 			return int32(k), true, nil
 		}
 	}
+}
+
+// InternBatch marks a block of keys visited, touching the shared counter
+// once per batch instead of once per fresh key.
+func (d *Dense) InternBatch(block []uint64, ids []int32, fresh []bool) error {
+	freshCount := int64(0)
+	for i, k := range block {
+		ids[i] = int32(k)
+		w := &d.visited[k>>6]
+		bit := uint64(1) << (k & 63)
+		for {
+			old := w.Load()
+			if old&bit != 0 {
+				fresh[i] = false
+				break
+			}
+			if w.CompareAndSwap(old, old|bit) {
+				fresh[i] = true
+				freshCount++
+				break
+			}
+		}
+	}
+	if freshCount > 0 {
+		d.count.Add(freshCount)
+	}
+	return nil
 }
 
 // Read reconstructs the packed words of id — the ID is the state.
@@ -180,21 +220,27 @@ const maxLocalID = (1 << (31 - shardBits)) - 1
 // Hash is the sharded-hash store: 2^shardBits mutex-protected enc.Tables.
 // IDs encode (local index << shardBits) | shard.
 type Hash struct {
+	wpk    int
 	shards [1 << shardBits]struct {
 		mu  sync.Mutex
 		tab *enc.Table
 	}
-	base []int32
+	base    []int32
+	scratch sync.Pool // *hashBatchScratch for InternBatch shard bucketing
 }
 
 // NewHash returns a hash store for keys of wordsPerKey words.
 func NewHash(wordsPerKey int) *Hash {
-	h := &Hash{}
+	h := &Hash{wpk: wordsPerKey}
 	for i := range h.shards {
 		h.shards[i].tab = enc.NewTable(wordsPerKey, 64)
 	}
+	h.scratch.New = func() any { return &hashBatchScratch{} }
 	return h
 }
+
+// Words returns the key width.
+func (h *Hash) Words() int { return h.wpk }
 
 // Intern adds key to its ownership shard.
 func (h *Hash) Intern(key []uint64) (int32, bool, error) {
@@ -211,6 +257,55 @@ func (h *Hash) Intern(key []uint64) (int32, bool, error) {
 		return 0, false, fmt.Errorf("%w: shard overflow", ErrLimit)
 	}
 	return int32(local)<<shardBits | int32(owner), fresh, nil
+}
+
+// hashBatchScratch is the per-InternBatch bucketing scratch: the key
+// indices owned by each shard, so every shard lock is taken at most once
+// per batch.
+type hashBatchScratch struct {
+	byShard [1 << shardBits][]int32
+	touched []int32
+}
+
+// InternBatch buckets the block's keys by ownership shard, then interns
+// each shard's keys under one lock acquisition. IDs and freshness match
+// what per-key Intern calls would produce (in-batch duplicates land in the
+// same shard, so the first occurrence is the fresh one).
+func (h *Hash) InternBatch(block []uint64, ids []int32, fresh []bool) error {
+	sc := h.scratch.Get().(*hashBatchScratch)
+	sc.touched = sc.touched[:0]
+	for i := range ids {
+		key := block[i*h.wpk : (i+1)*h.wpk]
+		owner := int32(enc.Hash(key) >> (64 - shardBits))
+		if len(sc.byShard[owner]) == 0 {
+			sc.touched = append(sc.touched, owner)
+		}
+		sc.byShard[owner] = append(sc.byShard[owner], int32(i))
+	}
+	var err error
+	for _, owner := range sc.touched {
+		s := &h.shards[owner]
+		s.mu.Lock()
+		for _, i := range sc.byShard[owner] {
+			key := block[int(i)*h.wpk : (int(i)+1)*h.wpk]
+			local, fr := s.tab.Intern(key)
+			if local > maxLocalID {
+				err = fmt.Errorf("%w: shard overflow", ErrLimit)
+				break
+			}
+			ids[i] = int32(local)<<shardBits | owner
+			fresh[i] = fr
+		}
+		s.mu.Unlock()
+		if err != nil {
+			break
+		}
+	}
+	for _, owner := range sc.touched {
+		sc.byShard[owner] = sc.byShard[owner][:0]
+	}
+	h.scratch.Put(sc)
+	return err
 }
 
 // Read copies state id's packed words into buf (the shard arena may be

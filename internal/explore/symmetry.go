@@ -177,6 +177,36 @@ func (c *Canon) Canonicalize(key []uint64) []uint64 {
 	return c.slowCanonicalize(key)
 }
 
+// CanonicalizeBatch rewrites count keys, packed back to back in block, to
+// their orbit minima — the batch counterpart of Canonicalize. On the
+// single-word fast path the whole block runs through one flat loop over
+// the precomputed byte tables (the table slice header and bounds are
+// hoisted out of the per-state work instead of being re-derived per call);
+// wider states fall back to the generic path per key.
+func (c *Canon) CanonicalizeBatch(block []uint64, count int) {
+	if c.s.tables != nil {
+		tables := c.s.tables
+		for i := 0; i < count; i++ {
+			k := block[i]
+			best := k
+			for ai := range tables {
+				t := &tables[ai]
+				cand := t[0][k&0xff] | t[1][k>>8&0xff] | t[2][k>>16&0xff] | t[3][k>>24&0xff] |
+					t[4][k>>32&0xff] | t[5][k>>40&0xff] | t[6][k>>48&0xff] | t[7][k>>56&0xff]
+				if cand < best {
+					best = cand
+				}
+			}
+			block[i] = best
+		}
+		return
+	}
+	w := c.s.codec.Words()
+	for i := 0; i < count; i++ {
+		c.slowCanonicalize(block[i*w : (i+1)*w])
+	}
+}
+
 // slowCanonicalize is the generic multi-word path.
 func (c *Canon) slowCanonicalize(key []uint64) []uint64 {
 	s := c.s

@@ -37,36 +37,52 @@ func uniformRingProtocol(t *testing.T, m int, sigma uint64, seed uint64) *core.P
 
 // TestOracleStoreSymmetryWorkers is the cross-check oracle of the unified
 // engine: on small unidirectional rings (|Σ| ∈ {2,3}, m ∈ 3..6, where the
-// rotation group has order m), every (store, symmetry, workers)
+// rotation group has order m), every (store, symmetry, workers, batch)
 // combination must return the same verdict; state counts must agree across
-// stores and worker counts for a fixed symmetry setting; the quotient
-// count must sit in [states/|Γ|, states]; and witnesses must be identical
-// across stores and worker counts and genuinely violating in all settings.
+// stores, worker counts, and batch granularities for a fixed symmetry
+// setting; the quotient count must sit in [states/|Γ|, states]; and
+// witnesses must be identical across all non-symmetry dimensions and
+// genuinely violating in all settings. Batch granularity (Options.Batch)
+// only chunks the engine's intern/enqueue pass, so the full {1,2,7,64}
+// sweep runs on the cheap small rings while the large rings (which dominate
+// the runtime) keep a whole-batch/chunked pair.
 func TestOracleStoreSymmetryWorkers(t *testing.T) {
 	type cfg struct {
 		store verify.StoreKind
 		sym   verify.SymmetryMode
 		work  int
+		batch int
 	}
-	var cfgs []cfg
-	for _, st := range []verify.StoreKind{verify.StoreDense, verify.StoreHash} {
-		for _, sy := range []verify.SymmetryMode{verify.SymmetryOff, verify.SymmetryOn} {
-			for _, w := range []int{1, 4} {
-				cfgs = append(cfgs, cfg{st, sy, w})
+	cfgsFor := func(batches []int) []cfg {
+		var cfgs []cfg
+		for _, st := range []verify.StoreKind{verify.StoreDense, verify.StoreHash} {
+			for _, sy := range []verify.SymmetryMode{verify.SymmetryOff, verify.SymmetryOn} {
+				for _, w := range []int{1, 4} {
+					for _, b := range batches {
+						cfgs = append(cfgs, cfg{st, sy, w, b})
+					}
+				}
 			}
 		}
+		return cfgs
 	}
 	for _, sigma := range []uint64{2, 3} {
 		for m := 3; m <= 6; m++ {
+			batches := []int{0, 1, 2, 7, 64}
 			seeds := uint64(4)
-			if sigma == 3 && m >= 5 {
+			if m >= 5 {
 				// The largest rings dominate the runtime (≈3^{2m} states);
-				// two seeds each keep the matrix covered under -race.
-				seeds = 2
+				// fewer seeds and a trimmed batch sweep keep the matrix
+				// covered under -race.
+				batches = []int{0, 7}
+				if sigma == 3 {
+					seeds = 2
+				}
 			}
 			if testing.Short() && m >= 5 {
 				continue
 			}
+			cfgs := cfgsFor(batches)
 			for seed := uint64(0); seed < seeds; seed++ {
 				p := uniformRingProtocol(t, m, sigma, seed+uint64(m)*17+uint64(sigma)*131)
 				x := make(core.Input, m)
@@ -79,6 +95,7 @@ func TestOracleStoreSymmetryWorkers(t *testing.T) {
 					for i, c := range cfgs {
 						dec, err := decide(p, x, 2, verify.Options{
 							Limit: 1 << 22, Workers: c.work, Store: c.store, Symmetry: c.sym,
+							Batch: c.batch,
 						})
 						if err != nil {
 							t.Fatalf("Σ=%d m=%d seed=%d output=%v cfg=%+v: %v", sigma, m, seed, output, c, err)

@@ -25,10 +25,13 @@
 package verify
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
+	"time"
 
 	"stateless/internal/core"
 	"stateless/internal/enc"
@@ -40,6 +43,16 @@ import (
 // ErrStateSpaceTooLarge is returned when the (estimated or actual) number
 // of explored states exceeds the caller's limit.
 var ErrStateSpaceTooLarge = errors.New("verify: state space exceeds limit")
+
+// ErrCanceled is returned when Options.Context is canceled before the
+// verdict is reached. It wraps the exploration's cancellation error, so
+// callers can distinguish a canceled check from a failed one.
+var ErrCanceled = errors.New("verify: canceled")
+
+// Progress is a periodic snapshot of a running exploration (see
+// Options.Progress): states interned, states expanded, frontier depth,
+// elapsed wall time, and the cumulative interning rate.
+type Progress = explore.Progress
 
 // DefaultLimit is the state-space bound used when Options.Limit is zero.
 const DefaultLimit = 1 << 24
@@ -89,6 +102,22 @@ type Options struct {
 	// Quotienting changes Decision.States (orbit representatives instead
 	// of raw states) but never the verdict.
 	Symmetry SymmetryMode
+	// Context, when non-nil, cancels the exploration: workers check it once
+	// per expanded batch, and a canceled check returns an
+	// ErrCanceled-wrapped error. nil means never canceled.
+	Context context.Context
+	// Batch chunks the engine's intern/enqueue pass: at most Batch
+	// successors are interned per store round-trip (≤ 0 means whole-batch,
+	// one round-trip per expanded state). Verdicts, witnesses, and state
+	// counts are identical for every setting.
+	Batch int
+	// Progress, when non-nil, receives periodic snapshots of the running
+	// exploration (every ProgressInterval) plus one final snapshot after
+	// the exploration completes. Callbacks may fire concurrently with the
+	// worker pool.
+	Progress func(Progress)
+	// ProgressInterval is the snapshot period (≤ 0 means 1s).
+	ProgressInterval time.Duration
 }
 
 // Witness describes why a protocol is not r-stabilizing: a reachable cycle
@@ -216,6 +245,7 @@ type explorer struct {
 	trackOutputs bool
 	limit        int
 	workers      int
+	opts         Options
 
 	codec *enc.Codec
 	store explore.Store
@@ -266,6 +296,7 @@ func newExplorer(p *core.Protocol, x core.Input, r int, trackOutputs bool, opts 
 		trackOutputs: trackOutputs,
 		limit:        limit,
 		workers:      workers,
+		opts:         opts,
 		codec:        codec,
 		store:        store,
 		sym:          sym,
@@ -274,20 +305,47 @@ func newExplorer(p *core.Protocol, x core.Input, r int, trackOutputs bool, opts 
 }
 
 // expander is one worker's expansion scratch; expansion does zero per-state
-// heap allocation once the buffers are warm.
+// heap allocation once the buffers are warm. One Expand call produces the
+// whole successor batch of a state: activation sets are enumerated into a
+// flat arena, stepped in one core.Stepper.StepBatch call (each node's
+// reaction is computed once per state instead of once per subset), packed in
+// one enc.Codec.PackBatch call, and canonicalized block-wise.
 type expander struct {
 	e       *explorer
 	stepper *core.Stepper
 	canon   *explore.Canon
 	cur     core.Config
-	next    core.Config
 	cd      []uint8
-	cdNext  []uint8
-	key     []uint64
-	key2    []uint64 // witness pass: canonicalization copy of a raw successor
-	active  []graph.NodeID
+	cdDec   []uint8 // cd − 1: the countdown base shared by all successors
 	free    []int
-	edges   []stateEdge
+	sets    core.ActivationSets
+	batch   *core.ConfigBatch
+	cds     []uint8 // flat count×n successor countdowns
+	changed []bool  // per-successor section-change flags (vs the raw block)
+	keepRaw bool    // witness pass: retain the pre-canonical block in raw
+	raw     []uint64
+	// edges is the worker's transition log, stored in fixed-size chunks so
+	// growth never copies: the states-graph has tens of edges per state,
+	// and reallocation memmove was a visible slice of the profile.
+	edges [][]stateEdge
+
+	// Single-word patch path (expandFast): a node's activation rewrites a
+	// fixed, per-node set of bits of the packed word — its out-edge label
+	// fields, its countdown field, and its output bit — and those bit sets
+	// are disjoint across nodes (every edge has one source). So once each
+	// node's reaction is known, a successor is two ALU ops away from any
+	// successor whose activation set differs by one node, and the whole
+	// batch falls out of a subset DP over the packed words.
+	fast       bool
+	clearMask  []uint64 // per node: the bits its activation rewrites
+	patchFixed []uint64 // per node: countdown reset to r, the state-free part
+	patch      []uint64 // per node, per state: patchFixed | reacted labels | output
+	labelShift []uint   // per edge: bit offset of its label field
+	outShift   []uint   // per node: bit offset of its output bit (if tracked)
+	cdOne      uint64   // 1 in every countdown field (cd−1 base = word − cdOne)
+	secMask    uint64   // packed mask of the compared section
+	reactL     []core.Label
+	reactO     []core.Bit
 }
 
 func (e *explorer) newExpander() *expander {
@@ -297,22 +355,154 @@ func (e *explorer) newExpander() *expander {
 		e:       e,
 		stepper: core.NewStepper(e.p),
 		cd:      make([]uint8, n),
-		cdNext:  make([]uint8, n),
+		cdDec:   make([]uint8, n),
 		cur:     core.Config{Labels: make(core.Labeling, m), Outputs: make([]core.Bit, n)},
-		next:    core.Config{Labels: make(core.Labeling, m), Outputs: make([]core.Bit, n)},
-		active:  make([]graph.NodeID, 0, n),
 		free:    make([]int, 0, n),
+		batch:   core.NewConfigBatch(g),
 	}
 	if e.sym != nil {
 		ex.canon = e.sym.NewCanon()
 	}
+	if c := e.codec; c.Words() == 1 {
+		ex.fast = true
+		ex.clearMask = make([]uint64, n)
+		ex.patchFixed = make([]uint64, n)
+		ex.patch = make([]uint64, n)
+		ex.labelShift = make([]uint, m)
+		ex.reactL = make([]core.Label, m)
+		ex.reactO = make([]core.Bit, n)
+		lMask := uint64(1)<<uint(c.LabelFieldBits()) - 1
+		cdMask := uint64(1)<<uint(c.CountdownFieldBits()) - 1
+		for eid := 0; eid < m; eid++ {
+			ex.labelShift[eid] = uint(c.LabelOffset(eid))
+		}
+		if c.HasOutputs() {
+			ex.outShift = make([]uint, n)
+			for v := 0; v < n; v++ {
+				ex.outShift[v] = uint(c.OutputOffset(v))
+			}
+		}
+		for v := 0; v < n; v++ {
+			mask := cdMask << uint(c.CountdownOffset(v))
+			for _, eid := range g.Out(graph.NodeID(v)) {
+				mask |= lMask << ex.labelShift[eid]
+			}
+			if c.HasOutputs() {
+				mask |= 1 << ex.outShift[v]
+			}
+			ex.clearMask[v] = mask
+			ex.patchFixed[v] = uint64(e.r) << uint(c.CountdownOffset(v))
+			ex.cdOne |= 1 << uint(c.CountdownOffset(v))
+		}
+		if e.trackOutputs {
+			for v := 0; v < n; v++ {
+				ex.secMask |= 1 << ex.outShift[v]
+			}
+		} else {
+			for eid := 0; eid < m; eid++ {
+				ex.secMask |= lMask << ex.labelShift[eid]
+			}
+		}
+	}
 	return ex
 }
 
-// eachSuccessor enumerates the raw successors of the state packed in words:
-// one transition per admissible activation set T ⊇ {i : x_i = 1}. visit
-// receives the packed raw successor in a reused buffer.
-func (ex *expander) eachSuccessor(words []uint64, visit func(raw []uint64) error) error {
+// sectionChanged reports whether the compared section differs between a
+// state and its raw successor.
+func (e *explorer) sectionChanged(state, raw []uint64) bool {
+	if e.trackOutputs {
+		return !e.codec.OutputsEqual(state, raw)
+	}
+	return !e.codec.LabelsEqual(state, raw)
+}
+
+// Expand implements explore.Expander: fill the batch with the packed
+// (canonicalized) successors of the state in words — one per admissible
+// activation set T ⊇ {i : x_i = 1} — and record each successor's
+// section-change flag against the raw (pre-canonicalization) block.
+// Single-word states take the patch-DP path; both paths produce the same
+// successors in the same order (index i ↔ the i-th admissible free-node
+// subset in ascending bitmask order).
+func (ex *expander) Expand(id int32, words []uint64, b *explore.Batch) error {
+	if ex.fast {
+		ex.expandFast(words, b)
+	} else {
+		ex.expandGeneric(words, b)
+	}
+	return nil
+}
+
+// expandFast is the single-word expansion: compute every node's reaction
+// once, turn it into a per-node (clearMask, patch) bit rewrite of the
+// packed word, and build the whole successor block by a subset DP — each
+// successor is derived from the successor one activation short of it in
+// two ALU ops, with no configuration materialization, no field-by-field
+// packing, and no per-successor copying.
+func (ex *expander) expandFast(words []uint64, b *explore.Batch) {
+	e := ex.e
+	g := e.p.Graph()
+	n := g.N()
+	ex.cur.Labels = e.codec.UnpackLabels(words, ex.cur.Labels)
+	ex.cd = e.codec.UnpackCountdown(words, ex.cd)
+	ex.stepper.Reactions(e.x, ex.cur, ex.reactL, ex.reactO)
+	hasOut := e.codec.HasOutputs()
+	for v := 0; v < n; v++ {
+		pv := ex.patchFixed[v]
+		for _, eid := range g.Out(graph.NodeID(v)) {
+			pv |= uint64(ex.reactL[eid]) << ex.labelShift[eid]
+		}
+		if hasOut {
+			pv |= uint64(ex.reactO[v]) << ex.outShift[v]
+		}
+		ex.patch[v] = pv
+	}
+	// Countdowns are stored raw in [1, r], so subtracting 1 from every
+	// countdown field at once never borrows across fields; forced fields
+	// (cd = 1) briefly hold 0 and are immediately patched to r below.
+	base := words[0] - ex.cdOne
+	forced := 0
+	ex.free = ex.free[:0]
+	for v, c := range ex.cd {
+		if c == 1 {
+			base = base&^ex.clearMask[v] | ex.patch[v]
+			forced++
+		} else {
+			ex.free = append(ex.free, v)
+		}
+	}
+	f := len(ex.free)
+	count := 1 << f
+	if forced == 0 {
+		count-- // the empty activation set is inadmissible
+	}
+	block := b.Alloc(count)
+	if forced > 0 {
+		// block[sub] = base patched with the nodes in subset sub.
+		block[0] = base
+		for sub := 1; sub < 1<<f; sub++ {
+			lsb := sub & -sub
+			v := ex.free[bits.TrailingZeros64(uint64(sub))]
+			block[sub] = block[sub^lsb]&^ex.clearMask[v] | ex.patch[v]
+		}
+	} else {
+		// Same DP shifted down one slot: subset sub lands at block[sub−1].
+		for sub := 1; sub < 1<<f; sub++ {
+			lsb := sub & -sub
+			prev := base
+			if rest := sub ^ lsb; rest != 0 {
+				prev = block[rest-1]
+			}
+			v := ex.free[bits.TrailingZeros64(uint64(sub))]
+			block[sub-1] = prev&^ex.clearMask[v] | ex.patch[v]
+		}
+	}
+	ex.finish(words, b, block, count)
+}
+
+// expandGeneric is the multi-word expansion: enumerate the activation sets
+// into the arena, step them in one StepBatch call, and pack the successor
+// block in one PackBatch call.
+func (ex *expander) expandGeneric(words []uint64, b *explore.Batch) {
 	e := ex.e
 	n := e.p.Graph().N()
 	ex.cur.Labels = e.codec.UnpackLabels(words, ex.cur.Labels)
@@ -336,61 +526,94 @@ func (ex *expander) eachSuccessor(words []uint64, visit func(raw []uint64) error
 	}
 	// Enumerate subsets of the free nodes; the activation set is
 	// forced ∪ subset, and must be nonempty.
+	ex.sets.Reset()
 	for sub := 0; sub < 1<<len(ex.free); sub++ {
 		if forced == 0 && sub == 0 {
 			continue
 		}
-		ex.active = ex.active[:0]
+		ex.sets.Begin()
 		for i := 0; i < n; i++ {
 			if forcedMask&(1<<i) != 0 {
-				ex.active = append(ex.active, graph.NodeID(i))
+				ex.sets.Push(graph.NodeID(i))
 			}
 		}
 		for bi, i := range ex.free {
 			if sub&(1<<bi) != 0 {
-				ex.active = append(ex.active, graph.NodeID(i))
+				ex.sets.Push(graph.NodeID(i))
 			}
 		}
-		ex.stepper.Step(e.x, ex.cur, &ex.next, ex.active)
-		for i := range ex.cdNext {
-			ex.cdNext[i] = ex.cd[i] - 1
-		}
-		for _, v := range ex.active {
-			ex.cdNext[v] = uint8(e.r)
-		}
-		ex.key = e.codec.Pack(ex.next.Labels, ex.cdNext, ex.next.Outputs, ex.key)
-		if err := visit(ex.key); err != nil {
-			return err
+	}
+	count := ex.sets.Len()
+	ex.stepper.StepBatch(e.x, ex.cur, &ex.sets, ex.batch)
+	// Successor countdowns: inactive nodes decrement, active nodes reset to
+	// r. The decremented base is computed once; cd − 1 < r always (cd ≤ r),
+	// so overwriting the active entries afterwards never misfires.
+	for i, c := range ex.cd {
+		ex.cdDec[i] = c - 1
+	}
+	if cap(ex.cds) < count*n {
+		ex.cds = make([]uint8, count*n)
+	}
+	ex.cds = ex.cds[:count*n]
+	for si := 0; si < count; si++ {
+		row := ex.cds[si*n : (si+1)*n]
+		copy(row, ex.cdDec)
+		for _, v := range ex.sets.Set(si) {
+			row[v] = uint8(e.r)
 		}
 	}
+	block := b.Alloc(count)
+	e.codec.PackBatch(count, ex.batch.LabelsFlat(), ex.cds, ex.batch.OutputsFlat(), block)
+	ex.finish(words, b, block, count)
+}
+
+// finish is the shared expansion tail: section-change flags against the raw
+// block, the witness pass's raw copy, and block canonicalization.
+func (ex *expander) finish(words []uint64, b *explore.Batch, block []uint64, count int) {
+	e := ex.e
+	if cap(ex.changed) < count {
+		ex.changed = make([]bool, count)
+	}
+	ex.changed = ex.changed[:count]
+	if ex.fast {
+		w0, secm := words[0], ex.secMask
+		for i, k := range block {
+			ex.changed[i] = (k^w0)&secm != 0
+		}
+	} else {
+		wpk := b.WordsPerKey()
+		for i := 0; i < count; i++ {
+			ex.changed[i] = e.sectionChanged(words, block[i*wpk:(i+1)*wpk])
+		}
+	}
+	if ex.keepRaw {
+		ex.raw = append(ex.raw[:0], block...)
+	}
+	if ex.canon != nil {
+		ex.canon.CanonicalizeBatch(block, count)
+	}
+}
+
+// edgeChunk is the edge-log chunk size (3/4 MiB of stateEdges).
+const edgeChunk = 1 << 16
+
+// Absorb records one transition per successor once the engine has interned
+// the batch and filled in the store IDs.
+func (ex *expander) Absorb(id int32, b *explore.Batch) error {
+	if len(ex.edges) == 0 {
+		ex.edges = append(ex.edges, make([]stateEdge, 0, edgeChunk))
+	}
+	cur := ex.edges[len(ex.edges)-1]
+	for i, dst := range b.IDs {
+		if len(cur) == cap(cur) {
+			ex.edges[len(ex.edges)-1] = cur
+			cur = make([]stateEdge, 0, edgeChunk)
+			ex.edges = append(ex.edges, cur)
+		}
+		cur = append(cur, stateEdge{src: id, dst: dst, changed: ex.changed[i]})
+	}
+	ex.edges[len(ex.edges)-1] = cur
 	return nil
-}
-
-// sectionChanged reports whether the compared section differs between a
-// state and its raw successor.
-func (e *explorer) sectionChanged(state, raw []uint64) bool {
-	if e.trackOutputs {
-		return !e.codec.OutputsEqual(state, raw)
-	}
-	return !e.codec.LabelsEqual(state, raw)
-}
-
-// Expand implements explore.Expander: intern every (canonicalized)
-// successor and record the transition with its section-change flag.
-func (ex *expander) Expand(gid int32, words []uint64, emit explore.Emit) error {
-	return ex.eachSuccessor(words, func(raw []uint64) error {
-		changed := ex.e.sectionChanged(words, raw)
-		key := raw
-		if ex.canon != nil {
-			key = ex.canon.Canonicalize(raw)
-		}
-		nid, _, err := emit(key)
-		if err != nil {
-			return err
-		}
-		ex.edges = append(ex.edges, stateEdge{src: gid, dst: nid, changed: changed})
-		return nil
-	})
 }
 
 // seed interns the (canonicalized) initial vertices (ℓ, r^n) for every
@@ -442,6 +665,10 @@ func (e *explorer) explore() error {
 			e.expanders[w] = ex
 			return ex
 		},
+		Ctx:              e.opts.Context,
+		MaxBatch:         e.opts.Batch,
+		Progress:         e.opts.Progress,
+		ProgressInterval: e.opts.ProgressInterval,
 	})
 }
 
@@ -452,15 +679,44 @@ type csr struct {
 	dst      []int32
 }
 
-func (e *explorer) buildCSR(total int) csr {
-	nEdges := 0
+// edgeChunks collects every worker's edge-log chunks.
+func (e *explorer) edgeChunks() [][]stateEdge {
+	var chunks [][]stateEdge
 	for _, ex := range e.expanders {
-		nEdges += len(ex.edges)
+		if ex != nil {
+			chunks = append(chunks, ex.edges...)
+		}
+	}
+	return chunks
+}
+
+// rankEdges rewrites every recorded edge's endpoints from store IDs to
+// dense ranks, fanning the chunks out over the worker pool. Doing this
+// once up front means the CSR build, the violating-SCC scan, and the
+// witness pass all index comp/rowStart directly instead of paying a
+// Store.Rank per edge visit (for the dense store that is a popcount plus
+// two dependent loads — it dominated the analysis-phase profile).
+func (e *explorer) rankEdges(chunks [][]stateEdge) {
+	par.ForEach(len(chunks), e.workers, func(i int) error {
+		c := chunks[i]
+		for j := range c {
+			c[j].src = e.store.Rank(c[j].src)
+			c[j].dst = e.store.Rank(c[j].dst)
+		}
+		return nil
+	})
+}
+
+// buildCSR assembles the states-graph over rank IDs (rankEdges first).
+func (e *explorer) buildCSR(total int, chunks [][]stateEdge) csr {
+	nEdges := 0
+	for _, c := range chunks {
+		nEdges += len(c)
 	}
 	rowStart := make([]int32, total+1)
-	for _, ex := range e.expanders {
-		for _, ed := range ex.edges {
-			rowStart[e.store.Rank(ed.src)+1]++
+	for _, c := range chunks {
+		for _, ed := range c {
+			rowStart[ed.src+1]++
 		}
 	}
 	for i := 0; i < total; i++ {
@@ -468,11 +724,10 @@ func (e *explorer) buildCSR(total int) csr {
 	}
 	dst := make([]int32, nEdges)
 	fill := make([]int32, total)
-	for _, ex := range e.expanders {
-		for _, ed := range ex.edges {
-			s := e.store.Rank(ed.src)
-			dst[rowStart[s]+fill[s]] = e.store.Rank(ed.dst)
-			fill[s]++
+	for _, c := range chunks {
+		for _, ed := range c {
+			dst[rowStart[ed.src]+fill[ed.src]] = ed.dst
+			fill[ed.src]++
 		}
 	}
 	return csr{rowStart: rowStart, dst: dst}
@@ -598,23 +853,28 @@ func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opt
 		if errors.Is(err, explore.ErrLimit) {
 			return Decision{}, fmt.Errorf("%w: %v", ErrStateSpaceTooLarge, err)
 		}
+		if errors.Is(err, explore.ErrCanceled) {
+			return Decision{}, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
 		return Decision{}, err
 	}
 	total := e.store.Compact()
-	sg := e.buildCSR(total)
+	chunks := e.edgeChunks()
+	e.rankEdges(chunks)
+	sg := e.buildCSR(total, chunks)
 	comp, nComps := sg.sccs()
 
 	// A violating SCC contains an internal section-changing transition.
 	violating := make([]bool, nComps)
 	anyViolation := false
-	for _, ex := range e.expanders {
-		for _, ed := range ex.edges {
+	for _, c := range chunks {
+		for _, ed := range c {
 			if !ed.changed {
 				continue
 			}
-			c := comp[e.store.Rank(ed.src)]
-			if c == comp[e.store.Rank(ed.dst)] {
-				violating[c] = true
+			cc := comp[ed.src]
+			if cc == comp[ed.dst] {
+				violating[cc] = true
 				anyViolation = true
 			}
 		}
@@ -647,6 +907,9 @@ func (e *explorer) witness(total int, comp []int32, violating []bool) (*Witness,
 		compare = e.codec.CompareOutputs
 	}
 	ex := e.newExpander()
+	ex.keepRaw = true // Expand retains the pre-canonical block in ex.raw
+	scratch := explore.NewBatch(e.codec.Words())
+	wpk := e.codec.Words()
 	var stateBuf, bestA, bestB []uint64
 	for rank := int32(0); rank < int32(total); rank++ {
 		if !violating[comp[rank]] {
@@ -654,24 +917,24 @@ func (e *explorer) witness(total int, comp []int32, violating []bool) (*Witness,
 		}
 		state := e.store.WordsAt(rank, stateBuf)
 		stateBuf = state // reuse the materialization buffer next round
-		err := ex.eachSuccessor(state, func(raw []uint64) error {
-			if !e.sectionChanged(state, raw) {
-				return nil
+		scratch.Reset()
+		if err := ex.Expand(0, state, scratch); err != nil {
+			return nil, err
+		}
+		for i := 0; i < scratch.Len(); i++ {
+			if !ex.changed[i] {
+				continue
 			}
-			key := raw
-			if ex.canon != nil {
-				// Canonicalize a copy: raw is still needed for the pair.
-				ex.key2 = append(ex.key2[:0], raw...)
-				key = ex.canon.Canonicalize(ex.key2)
-			}
-			// The successor is already interned (same expansion as the
-			// exploration), so this lookup never grows the store.
-			id, _, err := e.store.Intern(key)
+			raw := ex.raw[i*wpk : (i+1)*wpk]
+			// scratch.Key(i) is the canonical successor, already interned
+			// (same expansion as the exploration), so this lookup never
+			// grows the store.
+			id, _, err := e.store.Intern(scratch.Key(i))
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if comp[e.store.Rank(id)] != comp[rank] {
-				return nil // transition leaves the SCC
+				continue // transition leaves the SCC
 			}
 			a, b := state, raw
 			if compare(b, a) < 0 {
@@ -681,10 +944,6 @@ func (e *explorer) witness(total int, comp []int32, violating []bool) (*Witness,
 				bestA = append(bestA[:0], a...)
 				bestB = append(bestB[:0], b...)
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
 	}
 	if bestA == nil {

@@ -1,0 +1,214 @@
+package stateless_test
+
+import (
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/enc"
+	"stateless/internal/explore"
+	"stateless/internal/graph"
+)
+
+// Per-stage micro-benchmarks of the exploration hot path — step → pack →
+// canonicalize → intern — each with a single-call and a batched variant, so
+// the per-stage win of the batch pipeline is visible in isolation (the
+// end-to-end effect is BenchmarkVerifyStatesGraph). All stages run the E1
+// ring workload (n = 6, r = 3, |Σ| = 3, single-word 24-bit states): one
+// state's successor batch is its 2^n − 1 = 63 admissible activation sets.
+// scripts/bench.sh records these under "micro" in BENCH_verify.json.
+
+const microRingN = 6
+
+// microSubsets enumerates all nonempty subsets of the n nodes — the
+// activation sets of a state with no forced nodes.
+func microSubsets(n int) [][]graph.NodeID {
+	var sets [][]graph.NodeID
+	for sub := 1; sub < 1<<n; sub++ {
+		var set []graph.NodeID
+		for i := 0; i < n; i++ {
+			if sub&(1<<i) != 0 {
+				set = append(set, graph.NodeID(i))
+			}
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+// BenchmarkStep measures successor computation: Stepper.Step once per
+// activation set versus one Stepper.StepBatch over the whole set arena
+// (which evaluates each node's reaction once per state instead of once per
+// subset containing it).
+func BenchmarkStep(b *testing.B) {
+	p := benchRingProtocol(b, microRingN)
+	g := p.Graph()
+	x := make(core.Input, microRingN)
+	cur := core.NewConfig(g, core.UniformLabeling(g, 1))
+	subsets := microSubsets(microRingN)
+	perOp := float64(len(subsets))
+
+	b.Run("single", func(b *testing.B) {
+		st := core.NewStepper(p)
+		next := cur.Clone()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, set := range subsets {
+				st.Step(x, cur, &next, set)
+			}
+		}
+		b.ReportMetric(perOp*float64(b.N)/b.Elapsed().Seconds(), "succ/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		st := core.NewStepper(p)
+		var sets core.ActivationSets
+		for _, set := range subsets {
+			sets.Append(set)
+		}
+		batch := core.NewConfigBatch(g)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st.StepBatch(x, cur, &sets, batch)
+		}
+		b.ReportMetric(perOp*float64(b.N)/b.Elapsed().Seconds(), "succ/s")
+	})
+}
+
+// microRows builds count deterministic pseudo-random successor rows
+// (flat labels, countdowns, outputs) for the ring codec.
+func microRows(count, m, n, r int, sigma uint64) (core.Labeling, []uint8, []core.Bit) {
+	labels := make(core.Labeling, count*m)
+	cds := make([]uint8, count*n)
+	outs := make([]core.Bit, count*n)
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range labels {
+		s = s*6364136223846793005 + 1442695040888963407
+		labels[i] = core.Label(s >> 33 % sigma)
+	}
+	for i := range cds {
+		s = s*6364136223846793005 + 1442695040888963407
+		cds[i] = uint8(s>>33%uint64(r)) + 1
+		outs[i] = core.Bit(s >> 62 & 1)
+	}
+	return labels, cds, outs
+}
+
+// BenchmarkPack measures state packing: Codec.Pack once per successor
+// versus one Codec.PackBatch over the flat row slabs.
+func BenchmarkPack(b *testing.B) {
+	p := benchRingProtocol(b, microRingN)
+	g := p.Graph()
+	m, n, r := g.M(), g.N(), 3
+	codec := enc.NewStateCodec(p.Space(), m, n, r, false)
+	const count = 63
+	labels, cds, _ := microRows(count, m, n, r, p.Space().Size())
+
+	b.Run("single", func(b *testing.B) {
+		key := make([]uint64, codec.Words())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < count; s++ {
+				key = codec.Pack(labels[s*m:(s+1)*m], cds[s*n:(s+1)*n], nil, key)
+			}
+		}
+		b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "succ/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		dst := make([]uint64, count*codec.Words())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = codec.PackBatch(count, labels, cds, nil, dst)
+		}
+		b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "succ/s")
+	})
+}
+
+// BenchmarkCanonicalize measures symmetry canonicalization (the n rotation
+// automorphisms of the ring, single-word table path): Canon.Canonicalize
+// per key versus one Canon.CanonicalizeBatch over the block. Keys are
+// canonical after the first pass; the min-search over the orbit costs the
+// same either way, so re-canonicalizing measures steady-state work.
+func BenchmarkCanonicalize(b *testing.B) {
+	p := benchRingProtocol(b, microRingN)
+	g := p.Graph()
+	m, n, r := g.M(), g.N(), 3
+	codec := enc.NewStateCodec(p.Space(), m, n, r, false)
+	x := make(core.Input, microRingN)
+	sym := explore.NewSymmetry(p, x, codec)
+	if sym == nil {
+		b.Fatal("ring symmetry unexpectedly inapplicable")
+	}
+	const count = 63
+	labels, cds, _ := microRows(count, m, n, r, p.Space().Size())
+	block := codec.PackBatch(count, labels, cds, nil, nil)
+
+	b.Run("single", func(b *testing.B) {
+		canon := sym.NewCanon()
+		w := codec.Words()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < count; s++ {
+				canon.Canonicalize(block[s*w : (s+1)*w])
+			}
+		}
+		b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "succ/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		canon := sym.NewCanon()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			canon.CanonicalizeBatch(block, count)
+		}
+		b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "succ/s")
+	})
+}
+
+// BenchmarkIntern measures visited-set interning on both store backends:
+// Store.Intern per key versus one Store.InternBatch per block. The block
+// is interned once up front, so the measured path is the steady-state
+// re-intern (hit) path that dominates a BFS, where most successors are
+// already visited.
+func BenchmarkIntern(b *testing.B) {
+	p := benchRingProtocol(b, microRingN)
+	g := p.Graph()
+	m, n, r := g.M(), g.N(), 3
+	codec := enc.NewStateCodec(p.Space(), m, n, r, false)
+	const count = 63
+	labels, cds, _ := microRows(count, m, n, r, p.Space().Size())
+	block := codec.PackBatch(count, labels, cds, nil, nil)
+
+	for _, be := range []struct {
+		name  string
+		store func() explore.Store
+	}{
+		{"dense", func() explore.Store { return explore.NewDense(codec.Bits()) }},
+		{"hash", func() explore.Store { return explore.NewHash(codec.Words()) }},
+	} {
+		store := be.store()
+		ids := make([]int32, count)
+		fresh := make([]bool, count)
+		if err := store.InternBatch(block, ids, fresh); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(be.name+"/single", func(b *testing.B) {
+			w := codec.Words()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < count; s++ {
+					if _, _, err := store.Intern(block[s*w : (s+1)*w]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "succ/s")
+		})
+		b.Run(be.name+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := store.InternBatch(block, ids, fresh); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "succ/s")
+		})
+	}
+}

@@ -1,39 +1,100 @@
 #!/usr/bin/env bash
-# bench.sh — run the verifier throughput benchmark and emit BENCH_verify.json:
-# states/s for every BenchmarkVerifyStatesGraph configuration (clique worker
-# counts, ring store × symmetry matrix). The checked-in BENCH_verify.json is
-# the perf-trajectory baseline; CI's bench-sanity job re-measures and fails
-# on a >2x regression (scripts/benchguard).
+# bench.sh — run the verifier benchmarks and emit BENCH_verify.json with
+# three sections:
+#
+#   configs        states/s for every BenchmarkVerifyStatesGraph
+#                  configuration (clique worker counts, ring store ×
+#                  symmetry matrix) — unique-states-interned throughput;
+#   ms_per_verdict wall milliseconds per full verdict for the same
+#                  configurations (ns/op of one LabelRStabilizing call) —
+#                  the end-to-end latency the states/s rate alone hides
+#                  (under symmetry quotienting states/s divides by fewer,
+#                  canonical, states, so the two metrics move differently);
+#   micro          succ/s for the per-stage hot-path micro-benchmarks
+#                  (BenchmarkStep/Pack/Canonicalize/Intern, single vs
+#                  batched variants — see microbench_test.go).
+#
+# The checked-in BENCH_verify.json is the perf-trajectory baseline; CI's
+# bench-sanity job re-measures and fails on a large regression in any
+# section (scripts/benchguard).
 #
 # Usage:
 #   scripts/bench.sh [output.json]       # default output: BENCH_verify.json
 #   BENCHTIME=10x scripts/bench.sh       # more iterations for a stable baseline
+#   CPUPROFILE=/tmp/cpu.prof scripts/bench.sh   # also write a CPU profile
+#                                               # of the states-graph bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
+MICROBENCHTIME="${MICROBENCHTIME:-1000x}"
 OUT="${1:-BENCH_verify.json}"
 
-go test -run '^$' -bench BenchmarkVerifyStatesGraph -benchtime "$BENCHTIME" -count 1 . |
+PROFILE_ARGS=()
+if [ -n "${CPUPROFILE:-}" ]; then
+  PROFILE_ARGS=(-cpuprofile "$CPUPROFILE")
+fi
+
+# name <TAB> states/s <TAB> ms/verdict per states-graph configuration.
+MACRO=$(go test -run '^$' -bench BenchmarkVerifyStatesGraph \
+  -benchtime "$BENCHTIME" -count 1 "${PROFILE_ARGS[@]}" . |
   awk '
     /^BenchmarkVerifyStatesGraph\// {
       name = $1
       sub(/^BenchmarkVerifyStatesGraph\//, "", name)
       sub(/-[0-9]+$/, "", name)
+      rate = ""; ns = ""
+      for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "states/s") rate = $i
+        if ($(i + 1) == "ns/op") ns = $i
+      }
+      if (rate != "" && ns != "") printf "%s\t%s\t%.3f\n", name, rate, ns / 1e6
+    }')
+
+# name <TAB> succ/s per micro-benchmark (per-stage hot-path throughput).
+MICRO=$(go test -run '^$' \
+  -bench '^(BenchmarkStep|BenchmarkPack|BenchmarkCanonicalize|BenchmarkIntern)$' \
+  -benchtime "$MICROBENCHTIME" -count 1 . |
+  awk '
+    /^Benchmark(Step|Pack|Canonicalize|Intern)\// {
+      name = $1
+      sub(/^Benchmark/, "", name)
+      sub(/-[0-9]+$/, "", name)
       rate = ""
-      for (i = 2; i < NF; i++) if ($(i + 1) == "states/s") rate = $i
+      for (i = 2; i < NF; i++) if ($(i + 1) == "succ/s") rate = $i
       if (rate != "") printf "%s\t%s\n", name, rate
-    }' |
-  {
-    printf '{\n  "benchmark": "BenchmarkVerifyStatesGraph",\n  "metric": "states/s",\n  "configs": {\n'
-    first=1
-    while IFS=$'\t' read -r name rate; do
-      [ "$first" -eq 0 ] && printf ',\n'
-      printf '    "%s": %s' "$name" "$rate"
-      first=0
-    done
-    printf '\n  }\n}\n'
-  } >"$OUT"
+    }')
+
+{
+  printf '{\n  "benchmark": "BenchmarkVerifyStatesGraph",\n  "metric": "states/s",\n'
+  printf '  "configs": {\n'
+  first=1
+  while IFS=$'\t' read -r name rate ms; do
+    [ "$first" -eq 0 ] && printf ',\n'
+    printf '    "%s": %s' "$name" "$rate"
+    first=0
+  done <<<"$MACRO"
+  printf '\n  },\n'
+  printf '  "ms_per_verdict": {\n'
+  first=1
+  while IFS=$'\t' read -r name rate ms; do
+    [ "$first" -eq 0 ] && printf ',\n'
+    printf '    "%s": %s' "$name" "$ms"
+    first=0
+  done <<<"$MACRO"
+  printf '\n  },\n'
+  printf '  "micro": {\n'
+  first=1
+  while IFS=$'\t' read -r name rate; do
+    [ "$first" -eq 0 ] && printf ',\n'
+    printf '    "%s": %s' "$name" "$rate"
+    first=0
+  done <<<"$MICRO"
+  printf '\n  }\n}\n'
+} >"$OUT"
 
 echo "wrote $OUT" >&2
+if [ -n "${CPUPROFILE:-}" ]; then
+  echo "wrote CPU profile $CPUPROFILE" >&2
+fi
 cat "$OUT"

@@ -1,6 +1,20 @@
 // Command benchguard compares a freshly measured BENCH_verify.json (see
 // scripts/bench.sh) against the checked-in baseline and exits nonzero when
-// any configuration's states/s regressed by more than the allowed factor.
+// any metric regressed by more than the allowed factor. Three sections are
+// guarded:
+//
+//   - configs: unique-states/s per states-graph configuration (higher is
+//     better, ratio = baseline/current);
+//   - ms_per_verdict: wall milliseconds per full verdict per configuration
+//     (lower is better, ratio = current/baseline);
+//   - micro: succ/s per per-stage micro-benchmark (higher is better,
+//     guarded at a looser factor — single-stage numbers are noisier than
+//     end-to-end ones).
+//
+// A section missing from the baseline is skipped, so old baseline files
+// (configs only) keep working; a section present in the baseline but
+// missing from the current run fails.
+//
 // CI's bench-sanity job runs it on every push; the generous default factor
 // absorbs runner-speed variance while still catching algorithmic
 // regressions (a lost store fast path or a broken quotient shows up as
@@ -16,12 +30,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 type benchFile struct {
-	Benchmark string             `json:"benchmark"`
-	Metric    string             `json:"metric"`
-	Configs   map[string]float64 `json:"configs"`
+	Benchmark    string             `json:"benchmark"`
+	Metric       string             `json:"metric"`
+	Configs      map[string]float64 `json:"configs"`
+	MsPerVerdict map[string]float64 `json:"ms_per_verdict"`
+	Micro        map[string]float64 `json:"micro"`
 }
 
 func main() {
@@ -36,7 +53,8 @@ func run(args []string, stdout *os.File) error {
 	var (
 		baselinePath = fs.String("baseline", "BENCH_verify.json", "checked-in baseline JSON")
 		currentPath  = fs.String("current", "", "freshly measured JSON")
-		maxRegress   = fs.Float64("max-regress", 2.0, "fail when baseline/current exceeds this factor")
+		maxRegress   = fs.Float64("max-regress", 2.0, "fail when an end-to-end metric regresses by this factor")
+		microRegress = fs.Float64("micro-regress", 3.0, "fail when a micro-benchmark regresses by this factor")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,25 +70,42 @@ func run(args []string, stdout *os.File) error {
 	if err != nil {
 		return err
 	}
-	failed := false
-	for name, base := range baseline.Configs {
-		cur, ok := current.Configs[name]
-		if !ok {
-			fmt.Fprintf(stdout, "FAIL %-28s missing from current run\n", name)
-			failed = true
-			continue
+	var failures []string
+	check := func(section string, base, cur map[string]float64, lowerBetter bool, factor float64) {
+		if len(base) == 0 {
+			return
 		}
-		ratio := base / cur
-		status := "ok  "
-		if cur <= 0 || ratio > *maxRegress {
-			status = "FAIL"
-			failed = true
+		names := make([]string, 0, len(base))
+		for name := range base {
+			names = append(names, name)
 		}
-		fmt.Fprintf(stdout, "%s %-28s baseline %12.0f  current %12.0f  ratio %.2fx\n",
-			status, name, base, cur, ratio)
+		sort.Strings(names)
+		for _, name := range names {
+			b := base[name]
+			c, ok := cur[name]
+			if !ok {
+				fmt.Fprintf(stdout, "FAIL %-16s %-28s missing from current run\n", section, name)
+				failures = append(failures, section)
+				continue
+			}
+			ratio := b / c
+			if lowerBetter {
+				ratio = c / b
+			}
+			status := "ok  "
+			if c <= 0 || ratio > factor {
+				status = "FAIL"
+				failures = append(failures, section)
+			}
+			fmt.Fprintf(stdout, "%s %-16s %-28s baseline %14.3f  current %14.3f  ratio %.2fx\n",
+				status, section, name, b, c, ratio)
+		}
 	}
-	if failed {
-		return fmt.Errorf("states/s regressed by more than %.1fx on at least one config", *maxRegress)
+	check("states/s", baseline.Configs, current.Configs, false, *maxRegress)
+	check("ms/verdict", baseline.MsPerVerdict, current.MsPerVerdict, true, *maxRegress)
+	check("micro succ/s", baseline.Micro, current.Micro, false, *microRegress)
+	if len(failures) > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond the allowed factor", len(failures))
 	}
 	return nil
 }
