@@ -7,7 +7,9 @@ import (
 	"stateless/internal/core"
 	"stateless/internal/counter"
 	"stateless/internal/experiments"
+	"stateless/internal/explore"
 	"stateless/internal/graph"
+	"stateless/internal/obs"
 	"stateless/internal/protocols"
 	"stateless/internal/sim"
 	"stateless/internal/verify"
@@ -125,6 +127,7 @@ func BenchmarkVerifyStatesGraph(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run("clique/workers="+itoa(workers), func(b *testing.B) {
 			b.ReportAllocs()
+			reportStructure(b, p, x, 3, verify.Options{Limit: 1 << 24, Workers: workers})
 			states := 0
 			for i := 0; i < b.N; i++ {
 				dec, err := verify.LabelRStabilizingOpts(p, x, 3,
@@ -155,6 +158,9 @@ func BenchmarkVerifyStatesGraph(b *testing.B) {
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
+			reportStructure(b, ring, rx, 3, verify.Options{
+				Limit: 1 << 24, Store: cfg.store, Symmetry: cfg.sym,
+			})
 			states := 0
 			for i := 0; i < b.N; i++ {
 				dec, err := verify.LabelRStabilizingOpts(ring, rx, 3, verify.Options{
@@ -168,6 +174,29 @@ func BenchmarkVerifyStatesGraph(b *testing.B) {
 			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
 		})
 	}
+}
+
+// reportStructure runs one instrumented verdict outside the timed region
+// and reports the run's machine-independent structural metrics: the mean
+// successor-batch fill and the store occupancy (parts per million) at the
+// verdict. scripts/bench.sh collects these into BENCH_verify.json's
+// "structure" section and scripts/benchguard pins them in both directions —
+// a drift means the exploration shape changed, not the machine.
+func reportStructure(b *testing.B, p *core.Protocol, x core.Input, r int, opts verify.Options) {
+	b.Helper()
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	if _, err := verify.LabelRStabilizingOpts(p, x, r, opts); err != nil {
+		b.Fatal(err)
+	}
+	s := reg.Snapshot()
+	// ResetTimer first: it excludes the instrumented run from the timed
+	// region AND clears previously reported extra metrics.
+	b.ResetTimer()
+	if fill := s[explore.MetricBatchFill]; fill.Count > 0 {
+		b.ReportMetric(float64(fill.Sum)/float64(fill.Count), "fill")
+	}
+	b.ReportMetric(float64(s[explore.MetricStoreOccupancyPPM].Value), "occ_ppm")
 }
 
 func BenchmarkStepSynchronousClique(b *testing.B) {

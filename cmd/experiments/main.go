@@ -7,6 +7,7 @@
 //	experiments             # run all
 //	experiments -only E4    # run one
 //	experiments -workers 2  # bound every experiment's worker pools
+//	experiments -report out.jsonl -debug-addr :6060
 package main
 
 import (
@@ -15,21 +16,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"time"
 
 	"stateless/internal/experiments"
+	"stateless/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment (e.g. E4)")
 	workers := fs.Int("workers", 0, "worker-pool size for sweeps and the verifier (0 = GOMAXPROCS)")
+	report := fs.String("report", "", "append one structured report (JSON line) per experiment to this file")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (opt-in)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -37,15 +43,41 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	experiments.Workers = *workers
+	// One shared registry across experiments: verifier invocations
+	// accumulate into it, and each experiment's report line snapshots the
+	// cumulative totals when it finishes.
+	if *report != "" || *debugAddr != "" {
+		experiments.Metrics = obs.NewRegistry()
+		defer func() { experiments.Metrics = nil }()
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, experiments.Metrics)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/vars\n", dbg.Addr())
+	}
 	for _, e := range experiments.All() {
 		if *only != "" && e.ID != *only {
 			continue
 		}
+		start := time.Now()
+		rep := obs.NewReport("experiments", e.ID)
+		rep.Options = map[string]string{"workers": strconv.Itoa(*workers)}
 		table, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Fprintln(stdout, table.Render())
+		if *report != "" {
+			rep.Verdict = "ok"
+			rep.Metrics = experiments.Metrics.Snapshot()
+			rep.Finish(start)
+			if err := rep.AppendJSONL(*report); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

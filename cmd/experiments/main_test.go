@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ import (
 // tests, so a broken build here went unnoticed) and the flag plumbing.
 func TestRunSingleExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-only", "E7"}, &out); err != nil {
+	if err := run([]string{"-only", "E7"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -27,7 +28,7 @@ func TestRunWorkersFlag(t *testing.T) {
 	outs := make([]string, 2)
 	for i, w := range []string{"1", "3"} {
 		var out bytes.Buffer
-		if err := run([]string{"-only", "E1", "-workers", w}, &out); err != nil {
+		if err := run([]string{"-only", "E1", "-workers", w}, &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		outs[i] = out.String()
@@ -42,7 +43,7 @@ func TestRunWorkersFlag(t *testing.T) {
 
 func TestRunUnknownFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-nope"}, &out); err == nil {
+	if err := run([]string{"-nope"}, &out, io.Discard); err == nil {
 		t.Fatal("expected an error for an unknown flag")
 	}
 }

@@ -8,6 +8,7 @@
 //	simulate -protocol dcounter -n 7 -d 12
 //	simulate -protocol bgp-disagree -schedule roundrobin
 //	simulate -protocol example1 -n 6 -trials 64 -workers 8   # transient-fault sweep
+//	simulate -protocol example1 -n 6 -trials 64 -report out.jsonl
 package main
 
 import (
@@ -17,11 +18,14 @@ import (
 	"io"
 	"math/rand/v2"
 	"os"
+	"strconv"
+	"time"
 
 	"stateless/internal/bestresponse"
 	"stateless/internal/core"
 	"stateless/internal/counter"
 	"stateless/internal/graph"
+	"stateless/internal/obs"
 	"stateless/internal/par"
 	"stateless/internal/protocols"
 	"stateless/internal/schedule"
@@ -50,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 		randInit = fs.Bool("random-init", false, "start from a random labeling (transient fault)")
 		trials   = fs.Int("trials", 1, "run this many seeded random-init trials (a transient-fault sweep) instead of one run")
 		workers  = fs.Int("workers", 0, "worker-pool size for -trials sweeps (0 = GOMAXPROCS)")
+		report   = fs.String("report", "", "append a structured run report as one JSON line to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -97,8 +102,22 @@ func run(args []string, stdout io.Writer) error {
 		opts.DetectCycles = true
 		opts.CyclePeriod = period
 	}
+	start := time.Now()
+	rep := newSimReport(p, *name, map[string]string{
+		"schedule": *schedStr,
+		"steps":    strconv.Itoa(*maxSteps),
+		"seed":     strconv.FormatUint(*seed, 10),
+		"trials":   strconv.Itoa(*trials),
+		"workers":  strconv.Itoa(*workers),
+	})
+	if *report != "" {
+		opts.Metrics = obs.NewRegistry()
+	}
 	if *trials > 1 {
-		return runSweep(stdout, p, x, *trials, *workers, *seed, *schedStr, *name, *r, defaultSchedule, opts)
+		if err := runSweep(stdout, p, x, *trials, *workers, *seed, *schedStr, *name, *r, defaultSchedule, opts, rep); err != nil {
+			return err
+		}
+		return finishReport(rep, opts.Metrics, start, *report)
 	}
 	res, err := sim.Run(p, x, l0, sched, opts)
 	if err != nil {
@@ -111,7 +130,28 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%d", y)
 	}
 	fmt.Fprintln(stdout)
-	return nil
+	rep.Verdict = res.Status.String()
+	return finishReport(rep, opts.Metrics, start, *report)
+}
+
+// newSimReport stamps a simulate report with the instance description.
+func newSimReport(p *core.Protocol, name string, options map[string]string) *obs.Report {
+	rep := obs.NewReport("simulate", name)
+	g := p.Graph()
+	rep.Nodes, rep.Edges, rep.Sigma = g.N(), g.M(), p.Space().Size()
+	rep.Options = options
+	return rep
+}
+
+// finishReport stamps resource totals and the metrics snapshot and appends
+// the report to path (no-op when no -report sink was given).
+func finishReport(rep *obs.Report, m *obs.Registry, start time.Time, path string) error {
+	if path == "" {
+		return nil
+	}
+	rep.Metrics = m.Snapshot()
+	rep.Finish(start)
+	return rep.AppendJSONL(path)
 }
 
 // runSweep runs a transient-fault sweep: trials seeded random initial
@@ -120,7 +160,7 @@ func run(args []string, stdout io.Writer) error {
 // stabilization time. Results are deterministic for a fixed seed regardless
 // of the worker count.
 func runSweep(stdout io.Writer, p *core.Protocol, x core.Input, trials, workers int, seed uint64,
-	schedKind, name string, r int, adversarial [][]graph.NodeID, opts sim.Options) error {
+	schedKind, name string, r int, adversarial [][]graph.NodeID, opts sim.Options, rep *obs.Report) error {
 	g := p.Graph()
 	results := make([]sim.Result, trials)
 	err := par.ForEach(trials, workers, func(i int) error {
@@ -146,16 +186,31 @@ func runSweep(stdout io.Writer, p *core.Protocol, x core.Input, trials, workers 
 	}
 	counts := map[sim.Status]int{}
 	worst := -1
-	for _, res := range results {
+	rep.Trials = make([]obs.Trial, trials)
+	for i, res := range results {
 		counts[res.Status]++
 		if (res.Status == sim.LabelStable || res.Status == sim.OutputStable) && res.StabilizedAt > worst {
 			worst = res.StabilizedAt
+		}
+		rep.Trials[i] = obs.Trial{
+			Seed:         seed + uint64(i),
+			Status:       res.Status.String(),
+			Steps:        res.Steps,
+			StabilizedAt: res.StabilizedAt,
+			CycleLen:     res.CycleLen,
 		}
 	}
 	fmt.Fprintf(stdout, "trials=%d workers=%d worst_stabilized_at=%d\n", trials, par.Workers(workers), worst)
 	for _, st := range []sim.Status{sim.LabelStable, sim.OutputStable, sim.Oscillating, sim.Exhausted} {
 		if counts[st] > 0 {
 			fmt.Fprintf(stdout, "status=%v count=%d\n", st, counts[st])
+		}
+	}
+	// The sweep's verdict is its most severe trial outcome.
+	for _, st := range []sim.Status{sim.Oscillating, sim.Exhausted, sim.OutputStable, sim.LabelStable} {
+		if counts[st] > 0 {
+			rep.Verdict = st.String()
+			break
 		}
 	}
 	return nil

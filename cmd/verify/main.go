@@ -7,6 +7,7 @@
 //	verify -protocol example1 -n 3 -r 2
 //	verify -protocol bgp-disagree -r 2 -output
 //	verify -protocol example1 -n 4 -r 2 -progress
+//	verify -protocol example1 -n 4 -r 2 -report out.jsonl -debug-addr :6060
 package main
 
 import (
@@ -15,10 +16,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"stateless/internal/bestresponse"
 	"stateless/internal/core"
+	"stateless/internal/explore"
+	"stateless/internal/obs"
 	"stateless/internal/protocols"
 	"stateless/internal/verify"
 )
@@ -33,14 +37,17 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	var (
-		name     = fs.String("protocol", "example1", "protocol: example1 | bgp-good | bgp-disagree | bgp-bad")
-		n        = fs.Int("n", 3, "clique size for example1")
-		r        = fs.Int("r", 2, "fairness parameter")
-		output   = fs.Bool("output", false, "check output stabilization instead of label stabilization")
-		limit    = fs.Int("limit", 1<<24, "state-space limit")
-		workers  = fs.Int("workers", 0, "exploration worker-pool size (0 = GOMAXPROCS)")
-		progress = fs.Bool("progress", false, "print exploration progress to stderr")
-		interval = fs.Duration("progress-interval", time.Second, "progress sampling period")
+		name        = fs.String("protocol", "example1", "protocol: example1 | bgp-good | bgp-disagree | bgp-bad")
+		n           = fs.Int("n", 3, "clique size for example1")
+		r           = fs.Int("r", 2, "fairness parameter")
+		output      = fs.Bool("output", false, "check output stabilization instead of label stabilization")
+		limit       = fs.Int("limit", 1<<24, "state-space limit")
+		workers     = fs.Int("workers", 0, "exploration worker-pool size (0 = GOMAXPROCS)")
+		progress    = fs.Bool("progress", false, "print exploration progress to stderr")
+		interval    = fs.Duration("progress-interval", time.Second, "progress sampling period")
+		reportPath  = fs.String("report", "", "append a structured run report as one JSON line to this file")
+		debugAddr   = fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (opt-in)")
+		debugLinger = fs.Duration("debug-linger", 0, "keep the debug server alive this long after the verdict")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,21 +77,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	x := make(core.Input, p.Graph().N())
 
+	// A registry is attached whenever some sink will read it: a report
+	// file, the debug server, or the extended progress line.
+	var reg *obs.Registry
+	if *reportPath != "" || *debugAddr != "" || *progress {
+		reg = obs.NewRegistry()
+	}
+	var dbg *obs.DebugServer
+	if *debugAddr != "" {
+		dbg, err = obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/vars\n", dbg.Addr())
+	}
+
+	start := time.Now()
+	rep := obs.NewReport("verify", *name)
+	g := p.Graph()
+	rep.Nodes, rep.Edges, rep.Sigma, rep.R = g.N(), g.M(), p.Space().Size(), *r
+	rep.Options = map[string]string{
+		"n":       strconv.Itoa(*n),
+		"r":       strconv.Itoa(*r),
+		"output":  strconv.FormatBool(*output),
+		"limit":   strconv.Itoa(*limit),
+		"workers": strconv.Itoa(*workers),
+	}
+
 	stable, err := verify.StablePerNodeLabelingsWorkers(p, x, *limit, *workers)
 	if err == nil {
 		fmt.Fprintf(stdout, "stable labelings (per-node-uniform): %d\n", len(stable))
 		if len(stable) >= 2 {
-			fmt.Fprintf(stdout, "⇒ Theorem 3.1: cannot be label %d-stabilizing\n", p.Graph().N()-1)
+			fmt.Fprintf(stdout, "⇒ Theorem 3.1: cannot be label %d-stabilizing\n", g.N()-1)
 		}
 	}
 
 	var dec verify.Decision
-	opts := verify.Options{Limit: *limit, Workers: *workers}
+	opts := verify.Options{Limit: *limit, Workers: *workers, Metrics: reg}
 	if *progress {
 		opts.ProgressInterval = *interval
 		opts.Progress = func(pr verify.Progress) {
-			fmt.Fprintf(stderr, "progress: %d states, %d expanded, frontier %d, %.0f states/s, %s\n",
-				pr.States, pr.Expanded, pr.Frontier, pr.StatesPerSec, pr.Elapsed.Round(time.Millisecond))
+			fmt.Fprintln(stderr, progressLine(pr))
 		}
 	}
 	if *output {
@@ -103,5 +137,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if dec.Witness != nil {
 		fmt.Fprintln(stdout, "witness: a reachable oscillation exists between two configurations")
 	}
+
+	rep.Verdict = "stabilizing"
+	if !dec.Stabilizing {
+		rep.Verdict = "not-stabilizing"
+	}
+	rep.States, rep.Quotient, rep.Witness = dec.States, dec.Quotient, dec.Witness != nil
+	rep.Metrics = reg.Snapshot()
+	rep.Finish(start)
+	if *reportPath != "" {
+		if err := rep.AppendJSONL(*reportPath); err != nil {
+			return err
+		}
+	}
+	if dbg != nil && *debugLinger > 0 {
+		fmt.Fprintf(stderr, "debug server lingering %s on http://%s/debug/vars\n", *debugLinger, dbg.Addr())
+		time.Sleep(*debugLinger)
+	}
 	return nil
+}
+
+// progressLine renders one -progress sample, folding in depth, batch
+// fill-rate and store occupancy when the registry snapshot carries them.
+func progressLine(pr verify.Progress) string {
+	line := fmt.Sprintf("progress: %d states, %d expanded, frontier %d, depth %d, %.0f states/s",
+		pr.States, pr.Expanded, pr.Frontier, pr.Depth, pr.StatesPerSec)
+	if v, ok := pr.Metrics[explore.MetricBatchFill]; ok && v.Count > 0 {
+		line += fmt.Sprintf(", fill %.1f", float64(v.Sum)/float64(v.Count))
+	}
+	if v, ok := pr.Metrics[explore.MetricStoreOccupancyPPM]; ok {
+		line += fmt.Sprintf(", occ %.2f%%", float64(v.Value)/1e4)
+	}
+	return line + ", " + pr.Elapsed.Round(time.Millisecond).String()
 }

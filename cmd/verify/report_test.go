@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stateless/internal/obs"
+)
+
+var update = flag.Bool("update", false, "regenerate golden report files")
+
+// scrubbedReport runs the CLI with -report into a temp file and returns the
+// report's scrubbed deterministic JSON.
+func scrubbedReport(t *testing.T, args []string) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "report.jsonl")
+	var out, errOut bytes.Buffer
+	if err := run(append(args, "-report", path), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	line, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(line, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, line)
+	}
+	rep.Scrub()
+	b, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Two identical single-worker runs must produce byte-identical reports
+// modulo the timing fields Scrub removes — the report is a deterministic
+// function of the problem instance.
+func TestReportDeterminism(t *testing.T) {
+	args := []string{"-protocol", "example1", "-n", "3", "-r", "2", "-workers", "1"}
+	a := scrubbedReport(t, args)
+	b := scrubbedReport(t, args)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("scrubbed reports differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+// The scrubbed report is pinned as a golden file: any change to the report
+// layout, the metric set, or the deterministic metric values must be
+// reviewed by regenerating with -update.
+func TestReportGolden(t *testing.T) {
+	got := scrubbedReport(t, []string{"-protocol", "example1", "-n", "3", "-r", "2", "-workers", "1"})
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/verify -run TestReportGolden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report deviates from golden file (regenerate with -update if intended):\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// -report must append one line per run, so long-running drivers can stream
+// many verdicts into one JSONL file.
+func TestReportAppendsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.jsonl")
+	for i := 0; i < 2; i++ {
+		var out, errOut bytes.Buffer
+		args := []string{"-protocol", "example1", "-n", "3", "-r", "1", "-report", path}
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d", len(lines))
+	}
+	for _, l := range lines {
+		var rep obs.Report
+		if err := json.Unmarshal(l, &rep); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		if rep.Schema != obs.SchemaV1 || rep.Verdict != "stabilizing" {
+			t.Fatalf("unexpected report: %+v", rep)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"stateless/internal/core"
 	"stateless/internal/enc"
 	"stateless/internal/explore"
+	"stateless/internal/obs"
 	"stateless/internal/stateful"
 )
 
@@ -99,6 +100,26 @@ type RunResult struct {
 	Steps    int
 	CycleLen int
 	Final    Config
+}
+
+// Record attaches the run's outcome to m (no-op when m is nil), in the
+// same shape as sim.Result.Record, under the "almoststateless/" prefix.
+func (r RunResult) Record(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	m.Counter("almoststateless/runs").Inc()
+	m.Counter("almoststateless/steps").Add(int64(r.Steps))
+	if r.Stable {
+		m.Counter("almoststateless/status/stable").Inc()
+	} else if r.CycleLen > 0 {
+		m.Counter("almoststateless/status/oscillating").Inc()
+	} else {
+		m.Counter("almoststateless/status/exhausted").Inc()
+	}
+	if r.CycleLen > 0 {
+		m.Histogram("almoststateless/cycle_len", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024).Observe(int64(r.CycleLen))
+	}
 }
 
 // RunSynchronous runs with cycle detection over (labels, memories).

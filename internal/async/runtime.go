@@ -163,8 +163,17 @@ func (r *Runtime) Close() {
 // Run drives the runtime under a schedule until label stabilization, a
 // detected configuration cycle (with the same caveats as internal/sim), or
 // maxSteps. The semantics mirror sim.Run; the two are asserted equivalent
-// by tests.
+// by tests. When opts.Metrics is set the outcome is recorded through
+// sim.Result.Record, in the same shape as the reference simulator.
 func (r *Runtime) Run(sched schedule.Schedule, opts sim.Options) (sim.Result, error) {
+	res, err := r.run(sched, opts)
+	if err == nil {
+		res.Record(opts.Metrics)
+	}
+	return res, err
+}
+
+func (r *Runtime) run(sched schedule.Schedule, opts sim.Options) (sim.Result, error) {
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = sim.DefaultMaxSteps

@@ -382,11 +382,40 @@ func Hash(words []uint64) uint64 {
 // one arena slice; the open-addressing index maps hash slots to 1-based
 // state IDs. The zero Table is not usable; call NewTable.
 type Table struct {
-	w     int
-	arena []uint64
-	slots []int32 // 1-based state IDs; 0 = empty
-	mask  uint64
-	count int
+	w      int
+	arena  []uint64
+	slots  []int32 // 1-based state IDs; 0 = empty
+	mask   uint64
+	count  int
+	probes int64 // occupied-slot inspections beyond the home slot
+}
+
+// TableStats describes a table's occupancy and probe behaviour (see
+// Table.Stats).
+type TableStats struct {
+	// States is the number of interned states.
+	States int
+	// Slots is the open-addressing slot count (capacity).
+	Slots int
+	// Bytes is the resident size of arena plus slot index.
+	Bytes int64
+	// Probes counts slot inspections beyond the home slot across all
+	// Intern/Lookup calls — the linear-probing displacement total, the
+	// load-factor health signal the observability layer reports as
+	// store/probes.
+	Probes int64
+}
+
+// Stats reports the table's occupancy and probe counters. The table is not
+// safe for concurrent use, so callers synchronize exactly as they do for
+// Intern (the sharded store reads Stats under its shard locks).
+func (t *Table) Stats() TableStats {
+	return TableStats{
+		States: t.count,
+		Slots:  len(t.slots),
+		Bytes:  int64(len(t.arena))*8 + int64(len(t.slots))*4,
+		Probes: t.probes,
+	}
 }
 
 // NewTable returns a table for keys of wordsPerKey words, pre-sized for
@@ -432,6 +461,7 @@ func (t *Table) Lookup(key []uint64) (int, bool) {
 		if keysEqual(t.At(int(s-1)), key) {
 			return int(s - 1), true
 		}
+		t.probes++
 	}
 }
 
@@ -455,6 +485,7 @@ func (t *Table) Intern(key []uint64) (int, bool) {
 		if keysEqual(t.At(int(s-1)), key) {
 			return int(s - 1), false
 		}
+		t.probes++
 	}
 }
 

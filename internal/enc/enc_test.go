@@ -169,12 +169,12 @@ func TestPackBatchMatchesPack(t *testing.T) {
 		m, n, r int
 		outputs bool
 	}{
-		{3, 6, 6, 3, false},  // the benchmark ring layout: 24 bits, 1 word
-		{3, 6, 6, 3, true},   // with outputs: 30 bits, 1 word
-		{2, 4, 0, 0, false},  // bare labels
-		{5, 20, 9, 7, true},  // multi-word
+		{3, 6, 6, 3, false}, // the benchmark ring layout: 24 bits, 1 word
+		{3, 6, 6, 3, true},  // with outputs: 30 bits, 1 word
+		{2, 4, 0, 0, false}, // bare labels
+		{5, 20, 9, 7, true}, // multi-word
 		{9, 30, 16, 255, true},
-		{1, 3, 2, 1, false},  // degenerate |Σ| = 1 (zero-width labels)
+		{1, 3, 2, 1, false}, // degenerate |Σ| = 1 (zero-width labels)
 	} {
 		space := core.MustLabelSpace(tc.size)
 		codec := enc.NewStateCodec(space, tc.m, tc.n, tc.r, tc.outputs)

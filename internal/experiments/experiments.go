@@ -24,6 +24,7 @@ import (
 	"stateless/internal/counter"
 	"stateless/internal/graph"
 	"stateless/internal/lowerbound"
+	"stateless/internal/obs"
 	"stateless/internal/par"
 	"stateless/internal/protocols"
 	"stateless/internal/schedule"
@@ -37,6 +38,17 @@ import (
 // GOMAXPROCS. cmd/experiments sets it from its -workers flag before
 // running; it must not be changed while experiments are in flight.
 var Workers int
+
+// Metrics, when non-nil, is attached to every verifier invocation the
+// experiments make (see verify.Options.Metrics), so cmd/experiments can
+// report and serve cumulative exploration telemetry. Like Workers it is
+// set once before running.
+var Metrics *obs.Registry
+
+// verifyOpts is the standard verifier configuration of the experiments.
+func verifyOpts() verify.Options {
+	return verify.Options{Limit: 1 << 24, Workers: Workers, Metrics: Metrics}
+}
 
 // Table is one experiment's regenerated rows.
 type Table struct {
@@ -140,13 +152,13 @@ func E1CliqueStabilization() (Table, error) {
 		lowOK, highStab := true, true
 		if n <= 4 {
 			for r := 1; r < n-1; r++ {
-				dec, err := verify.LabelRStabilizingOpts(p, x, r, verify.Options{Limit: 1 << 24, Workers: Workers})
+				dec, err := verify.LabelRStabilizingOpts(p, x, r, verifyOpts())
 				if err != nil {
 					return t, err
 				}
 				lowOK = lowOK && dec.Stabilizing
 			}
-			dec, err := verify.LabelRStabilizingOpts(p, x, n-1, verify.Options{Limit: 1 << 24, Workers: Workers})
+			dec, err := verify.LabelRStabilizingOpts(p, x, n-1, verifyOpts())
 			if err != nil {
 				return t, err
 			}
@@ -791,7 +803,7 @@ func E11BestResponse() (Table, error) {
 		}
 		verdict := "n/a (state space)"
 		if c.verify {
-			dec, err := verify.LabelRStabilizingOpts(p, x, n-1, verify.Options{Limit: 1 << 24, Workers: Workers})
+			dec, err := verify.LabelRStabilizingOpts(p, x, n-1, verifyOpts())
 			if err == nil {
 				verdict = btoa(dec.Stabilizing)
 			}

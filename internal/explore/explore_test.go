@@ -196,7 +196,7 @@ func TestRunLimit(t *testing.T) {
 }
 
 func TestSeenSequentialIDs(t *testing.T) {
-	narrow := enc.NewLabelCodec(core.BinarySpace(), 8)   // 8 bits → direct
+	narrow := enc.NewLabelCodec(core.BinarySpace(), 8)    // 8 bits → direct
 	wide := enc.NewLabelCodec(core.MustLabelSpace(4), 40) // 80 bits → hash
 	for name, codec := range map[string]*enc.Codec{"direct": narrow, "hash": wide} {
 		s := NewSeen(codec, 16)

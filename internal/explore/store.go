@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"stateless/internal/enc"
+	"stateless/internal/obs"
 )
 
 // DenseMaxBits is the widest packed state the dense direct-indexed store
@@ -43,6 +44,38 @@ const DenseAutoMaxBits = 26
 // ErrLimit is returned when an exploration exceeds its state budget (or a
 // store overflows its ID space).
 var ErrLimit = errors.New("explore: state limit exceeded")
+
+// StoreStats is a point-in-time description of a store's occupancy and
+// probe behaviour — the pull side of the observability layer. All fields
+// are cheap to read; Stats is called only when a metrics snapshot is taken
+// (internal/obs pull gauges), never on the intern hot path.
+type StoreStats struct {
+	// Kind is "dense" or "hash".
+	Kind string
+	// States is the number of interned states.
+	States int64
+	// Capacity is the addressable slot count (dense: 2^bits; hash: total
+	// open-addressing slots across shards). Occupancy = States/Capacity.
+	Capacity int64
+	// Bytes is the store's resident memory (dense: the bitset; hash:
+	// arenas plus slot tables).
+	Bytes int64
+	// Probes counts hash-table slot inspections beyond the home slot —
+	// the open-addressing displacement total (always 0 for the dense
+	// store, which does no probing).
+	Probes int64
+	// Collisions counts interning retries: CAS retries for the dense
+	// bitset, occupied-slot probe steps for the hash store.
+	Collisions int64
+}
+
+// Occupancy returns States/Capacity in [0, 1] (0 when capacity unknown).
+func (s StoreStats) Occupancy() float64 {
+	if s.Capacity <= 0 {
+		return 0
+	}
+	return float64(s.States) / float64(s.Capacity)
+}
 
 // Store is a concurrent visited-state set over fixed-width packed keys.
 // IDs are stable but arbitrary (the dense store uses the packed value
@@ -77,6 +110,31 @@ type Store interface {
 	// store has to materialize the words (callers comparing two states must
 	// pass distinct bufs).
 	WordsAt(rank int32, buf []uint64) []uint64
+	// Stats reports the store's current occupancy and probe statistics.
+	// Safe for concurrent use with Intern; called from metrics snapshots.
+	Stats() StoreStats
+}
+
+// Store metric names (see registerStoreMetrics / Config.Metrics).
+const (
+	MetricStoreStates       = "store/states"
+	MetricStoreCapacity     = "store/capacity"
+	MetricStoreOccupancyPPM = "store/occupancy_ppm"
+	MetricStoreBytes        = "store/bytes"
+	MetricStoreProbes       = "store/probes"
+	MetricStoreCollisions   = "store/collisions"
+)
+
+// registerStoreMetrics exposes a store's Stats as pull gauges. Occupancy
+// is reported in parts per million so the whole snapshot stays integral
+// (and therefore byte-deterministic in JSON).
+func registerStoreMetrics(m *obs.Registry, s Store) {
+	m.Func(MetricStoreStates, func() int64 { return s.Stats().States })
+	m.Func(MetricStoreCapacity, func() int64 { return s.Stats().Capacity })
+	m.Func(MetricStoreOccupancyPPM, func() int64 { return int64(s.Stats().Occupancy() * 1e6) })
+	m.Func(MetricStoreBytes, func() int64 { return s.Stats().Bytes })
+	m.Func(MetricStoreProbes, func() int64 { return s.Stats().Probes })
+	m.Func(MetricStoreCollisions, func() int64 { return s.Stats().Collisions })
 }
 
 // NewStore picks a store for the codec: dense direct-indexed when the
@@ -94,9 +152,10 @@ func NewStore(codec *enc.Codec) Store {
 // Dense is the direct-indexed store: state keys are at most DenseMaxBits
 // wide, the key is the ID, and visited-ness is one bit in an atomic bitset.
 type Dense struct {
-	bits    int
-	visited []atomic.Uint64
-	count   atomic.Int64
+	bits       int
+	visited    []atomic.Uint64
+	count      atomic.Int64
+	collisions atomic.Int64 // CAS retries (another worker raced the word)
 
 	// Filled by Compact: ids lists the visited keys in ascending numeric
 	// order (rank → key) and prefix[w] counts the set bits before bitset
@@ -133,13 +192,14 @@ func (d *Dense) Intern(key []uint64) (int32, bool, error) {
 			d.count.Add(1)
 			return int32(k), true, nil
 		}
+		d.collisions.Add(1)
 	}
 }
 
 // InternBatch marks a block of keys visited, touching the shared counter
 // once per batch instead of once per fresh key.
 func (d *Dense) InternBatch(block []uint64, ids []int32, fresh []bool) error {
-	freshCount := int64(0)
+	freshCount, retries := int64(0), int64(0)
 	for i, k := range block {
 		ids[i] = int32(k)
 		w := &d.visited[k>>6]
@@ -155,10 +215,14 @@ func (d *Dense) InternBatch(block []uint64, ids []int32, fresh []bool) error {
 				freshCount++
 				break
 			}
+			retries++
 		}
 	}
 	if freshCount > 0 {
 		d.count.Add(freshCount)
+	}
+	if retries > 0 {
+		d.collisions.Add(retries)
 	}
 	return nil
 }
@@ -205,6 +269,19 @@ func (d *Dense) Rank(id int32) int32 {
 // WordsAt materializes the rank-th state into buf.
 func (d *Dense) WordsAt(rank int32, buf []uint64) []uint64 {
 	return d.Read(d.ids[rank], buf)
+}
+
+// Stats reports bitset occupancy and CAS contention. Bytes covers only the
+// always-live bitset (the Compact-time rank index is excluded so Stats
+// stays safe to call concurrently with Compact).
+func (d *Dense) Stats() StoreStats {
+	return StoreStats{
+		Kind:       "dense",
+		States:     d.count.Load(),
+		Capacity:   1 << uint(d.bits),
+		Bytes:      int64(len(d.visited)) * 8,
+		Collisions: d.collisions.Load(),
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -349,6 +426,24 @@ func (h *Hash) Compact() int {
 // Rank returns id's dense index (its shard base plus local index).
 func (h *Hash) Rank(id int32) int32 {
 	return h.base[id&(1<<shardBits-1)] + id>>shardBits
+}
+
+// Stats sums the shard tables' occupancy and probe counters under their
+// locks (snapshot-time only; never on the intern hot path).
+func (h *Hash) Stats() StoreStats {
+	st := StoreStats{Kind: "hash"}
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		ts := s.tab.Stats()
+		s.mu.Unlock()
+		st.States += int64(ts.States)
+		st.Capacity += int64(ts.Slots)
+		st.Bytes += ts.Bytes
+		st.Probes += ts.Probes
+		st.Collisions += ts.Probes // every extra probe step is a collision
+	}
+	return st
 }
 
 // WordsAt returns an arena view of the rank-th state (safe once Compact has

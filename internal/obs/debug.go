@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// DebugServer is the opt-in live-introspection listener behind the CLIs'
+// -debug-addr flag: expvar-style JSON of a live Registry plus the full
+// net/http/pprof suite, on an explicit mux (nothing leaks onto
+// http.DefaultServeMux). Long verifications can be profiled while they
+// run — `go tool pprof http://addr/debug/pprof/profile` against the stage
+// timers in /debug/vars is the intended workflow — and cmd/serve can later
+// mount the same handler set.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server on addr (host:port; port 0 picks a free
+// one) exposing reg. Endpoints:
+//
+//	/debug/vars           live Registry snapshot + runtime stats (JSON)
+//	/debug/pprof/...      net/http/pprof index, profile, heap, trace, ...
+//
+// The server runs on a background goroutine until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		e := json.NewEncoder(w)
+		e.SetIndent("", "  ")
+		e.Encode(debugVars(reg))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// debugVars assembles the /debug/vars payload: the registry snapshot plus
+// a small runtime section (sampled at request time).
+func debugVars(reg *Registry) map[string]any {
+	snap := reg.Snapshot()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]any{
+		"metrics": snap,
+		"runtime": map[string]any{
+			"goroutines":     runtime.NumGoroutine(),
+			"gomaxprocs":     runtime.GOMAXPROCS(0),
+			"heap_alloc":     ms.HeapAlloc,
+			"heap_sys":       ms.HeapSys,
+			"total_alloc":    ms.TotalAlloc,
+			"num_gc":         ms.NumGC,
+			"pause_total_ns": ms.PauseTotalNs,
+		},
+	}
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. Safe to call on a nil server.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,441 @@
+// Package obs is the observability layer of the exploration stack: a
+// dependency-free (stdlib-only) metrics package whose hot-path primitives
+// are allocation-free, plus a structured run Report (report.go) and a live
+// debug/pprof HTTP server (debug.go).
+//
+// The design splits recording from reading:
+//
+//   - Counter, Gauge and Histogram are single atomic words (or a fixed
+//     array of them); recording is one atomic add with no locking and no
+//     allocation, so instrumented hot loops record at batch granularity for
+//     a cost that disappears below benchmark noise.
+//   - Timer is a sampled stage clock: per-worker Clock stopwatches measure
+//     only every Every-th call and flush their plain-int totals into the
+//     shared Timer once, so nanosecond-level stage attribution (step vs
+//     pack vs canonicalize vs intern) costs two time.Now calls per ~64
+//     stage invocations instead of two per invocation.
+//   - Func metrics are read-side: the Registry pulls them only when a
+//     Snapshot is taken, so exposing store occupancy or frontier depth
+//     costs nothing while the run is executing.
+//
+// Every metric method is nil-receiver safe, and a nil *Registry hands out
+// nil metrics: instrumented code holds plain fields and calls them
+// unconditionally, and "no sink attached" (Registry == nil) degrades to a
+// predictable branch per record.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically written last-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n. No-op on a nil gauge.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// SetMax raises the gauge to n if n is larger (a monotone high-water
+// mark). No-op on a nil gauge.
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.v.Load()
+		if n <= old || g.v.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 on a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets: counts[i] counts
+// observations v with v <= bounds[i] (and the last bucket is unbounded).
+// Observing is one binary search plus one atomic add; the bucket layout is
+// fixed at construction so snapshots are deterministic.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// newHistogram builds a histogram with the given ascending upper bounds
+// plus an implicit unbounded last bucket.
+func newHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Mean returns the mean observation (0 when empty, or on a nil histogram).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Timer accumulates sampled stage durations: ns holds the measured
+// nanoseconds of the sampled calls, calls the total number of stage
+// invocations, and sampled how many of them were measured. The estimated
+// stage total is ns·calls/sampled (see Value.Ns in a Snapshot).
+type Timer struct {
+	ns      atomic.Int64
+	calls   atomic.Int64
+	sampled atomic.Int64
+}
+
+// add merges a flushed Clock's locals.
+func (t *Timer) add(ns, calls, sampled int64) {
+	if t == nil || calls == 0 {
+		return
+	}
+	t.ns.Add(ns)
+	t.calls.Add(calls)
+	t.sampled.Add(sampled)
+}
+
+// estimate returns (estimated total ns, calls, sampled).
+func (t *Timer) estimate() (int64, int64, int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	ns, calls, sampled := t.ns.Load(), t.calls.Load(), t.sampled.Load()
+	if sampled > 0 && calls > sampled {
+		ns = int64(float64(ns) * float64(calls) / float64(sampled))
+	}
+	return ns, calls, sampled
+}
+
+// Clock is one worker's sampled stopwatch over a shared Timer. It keeps
+// plain (non-atomic) locals, measures only every Every-th call, and pushes
+// its totals into the Timer on Flush — so it is not safe for concurrent
+// use, and its steady-state cost is one increment and one mask test per
+// call. A Clock over a nil Timer (or a nil Clock) is a no-op.
+type Clock struct {
+	t        *Timer
+	mask     int64
+	calls    int64
+	sampled  int64
+	ns       int64
+	started  time.Time
+	sampling bool
+}
+
+// NewClock returns a stopwatch flushing into t, measuring one call in
+// about every (power-of-two rounded) interval. every <= 1 measures every
+// call. Returns nil when t is nil.
+func NewClock(t *Timer, every int) *Clock {
+	if t == nil {
+		return nil
+	}
+	m := int64(1)
+	for m < int64(every) {
+		m <<= 1
+	}
+	return &Clock{t: t, mask: m - 1}
+}
+
+// Start begins one stage invocation (measuring it only when sampled).
+// Start and Stop keep their unsampled (and nil-receiver) paths small
+// enough to inline — the hot loops of the exploration engine call them
+// around every stage, so the common case must compile to a test and a
+// branch at the call site, not a function call.
+func (c *Clock) Start() {
+	if c == nil {
+		return
+	}
+	c.calls++
+	if c.calls&c.mask == 0 {
+		c.beginSample()
+	}
+}
+
+//go:noinline
+func (c *Clock) beginSample() {
+	c.sampling = true
+	c.started = time.Now()
+}
+
+// Stop ends the invocation begun by the last Start.
+func (c *Clock) Stop() {
+	if c == nil || !c.sampling {
+		return
+	}
+	c.endSample()
+}
+
+//go:noinline
+func (c *Clock) endSample() {
+	c.ns += int64(time.Since(c.started))
+	c.sampled++
+	c.sampling = false
+}
+
+// Flush merges the locals into the shared Timer and zeroes them.
+func (c *Clock) Flush() {
+	if c == nil {
+		return
+	}
+	c.t.add(c.ns, c.calls, c.sampled)
+	c.ns, c.calls, c.sampled = 0, 0, 0
+}
+
+// Series is an append-only array of int64 cells indexed by a small
+// non-negative key (e.g. BFS depth -> states discovered at that depth).
+// Cells grow on demand; Add is one short mutex-protected update.
+type Series struct {
+	mu sync.Mutex
+	v  []int64
+}
+
+// Add increments cell i by n, growing the series as needed. No-op on a
+// nil series.
+func (s *Series) Add(i int, n int64) {
+	if s == nil || i < 0 {
+		return
+	}
+	s.mu.Lock()
+	for len(s.v) <= i {
+		s.v = append(s.v, 0)
+	}
+	s.v[i] += n
+	s.mu.Unlock()
+}
+
+// SetFrom replaces the series contents with a copy of v. No-op on nil.
+func (s *Series) SetFrom(v []int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.v = append(s.v[:0], v...)
+	s.mu.Unlock()
+}
+
+// Len returns the number of cells (0 on a nil series).
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.v)
+}
+
+// snapshot copies the cells.
+func (s *Series) snapshot() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.v...)
+}
+
+// Value is one metric's snapshot, shaped for deterministic JSON: which
+// fields are set depends on Kind. Timing-valued fields (Ns, Sampled, and
+// the Value of any metric named with an "_ns" suffix) are the only
+// machine-dependent ones; Report.Scrub zeroes exactly those.
+type Value struct {
+	// Kind is "counter", "gauge", "histogram", "timer" or "series".
+	Kind string `json:"kind"`
+	// Value carries counter and gauge readings.
+	Value int64 `json:"value,omitempty"`
+	// Count/Sum/Bounds/Counts carry histograms: Counts[i] counts
+	// observations <= Bounds[i], with one extra unbounded bucket.
+	Count  int64   `json:"count,omitempty"`
+	Sum    int64   `json:"sum,omitempty"`
+	Bounds []int64 `json:"bounds,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+	// Ns is a timer's estimated stage total (sampled ns scaled to Calls).
+	Ns      int64 `json:"ns,omitempty"`
+	Calls   int64 `json:"calls,omitempty"`
+	Sampled int64 `json:"sampled,omitempty"`
+	// Values carries series cells.
+	Values []int64 `json:"values,omitempty"`
+}
+
+// Snapshot is a point-in-time reading of a whole Registry, keyed by metric
+// name. encoding/json serializes map keys sorted, so marshaling a Snapshot
+// is deterministic.
+type Snapshot map[string]Value
+
+// Registry is a named collection of metrics. Getter methods are
+// get-or-create and idempotent (the first caller fixes the metric's kind);
+// all methods are safe for concurrent use, and every getter on a nil
+// *Registry returns a nil metric whose methods no-op — a nil Registry is
+// the "no sink attached" mode.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+	funcs   map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]any{}, funcs: map[string]func() int64{}}
+}
+
+// get runs the get-or-create protocol for one named metric.
+func lookup[T any](r *Registry, name string, make func() T) T {
+	var zero T
+	if r == nil {
+		return zero
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if t, ok := m.(T); ok {
+			return t
+		}
+		return zero // name already taken by another kind
+	}
+	t := make()
+	r.metrics[name] = t
+	return t
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket upper bounds (plus an implicit unbounded last bucket)
+// if needed.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	return lookup(r, name, func() *Histogram { return newHistogram(bounds) })
+}
+
+// Timer returns the named sampled stage timer, creating it if needed.
+func (r *Registry) Timer(name string) *Timer {
+	return lookup(r, name, func() *Timer { return &Timer{} })
+}
+
+// Series returns the named series, creating it if needed.
+func (r *Registry) Series(name string) *Series {
+	return lookup(r, name, func() *Series { return &Series{} })
+}
+
+// Func registers a pull metric: fn is invoked (only) when a Snapshot is
+// taken and must be safe to call concurrently with the instrumented code.
+// It reports as a gauge. No-op on a nil registry.
+func (r *Registry) Func(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Snapshot reads every metric. The result is a plain value object —
+// callers may retain or serialize it freely.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := make(map[string]any, len(r.metrics))
+	for k, v := range r.metrics {
+		metrics[k] = v
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	r.mu.Unlock()
+
+	s := make(Snapshot, len(metrics)+len(funcs))
+	for name, m := range metrics {
+		switch m := m.(type) {
+		case *Counter:
+			s[name] = Value{Kind: "counter", Value: m.Load()}
+		case *Gauge:
+			s[name] = Value{Kind: "gauge", Value: m.Load()}
+		case *Histogram:
+			counts := make([]int64, len(m.counts))
+			for i := range m.counts {
+				counts[i] = m.counts[i].Load()
+			}
+			s[name] = Value{
+				Kind:   "histogram",
+				Count:  m.n.Load(),
+				Sum:    m.sum.Load(),
+				Bounds: append([]int64(nil), m.bounds...),
+				Counts: counts,
+			}
+		case *Timer:
+			ns, calls, sampled := m.estimate()
+			s[name] = Value{Kind: "timer", Ns: ns, Calls: calls, Sampled: sampled}
+		case *Series:
+			s[name] = Value{Kind: "series", Values: m.snapshot()}
+		}
+	}
+	for name, fn := range funcs {
+		s[name] = Value{Kind: "gauge", Value: fn()}
+	}
+	return s
+}

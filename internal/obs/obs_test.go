@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every metric must be safe to use through a nil registry: that is the
+// engine's "no sink attached" mode, so a panic here is a hot-path panic.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(3)
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(7)
+	r.Gauge("g").SetMax(9)
+	r.Histogram("h", 1, 2, 4).Observe(3)
+	r.Timer("t").add(1, 1, 1)
+	r.Series("s").Add(0, 1)
+	r.Func("f", func() int64 { return 1 })
+	c := NewClock(r.Timer("t"), 8)
+	if c != nil {
+		t.Fatal("NewClock over a nil timer must be nil")
+	}
+	c.Start()
+	c.Stop()
+	c.Flush()
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", got)
+	}
+	if r.Counter("c").Load() != 0 || r.Gauge("g").Load() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if r.Histogram("h").Mean() != 0 || r.Series("s").Len() != 0 {
+		t.Fatal("nil histogram/series must read zero")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Counter("c").Inc()
+	if got := r.Counter("c").Load(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.SetMax(3)
+	if got := g.Load(); got != 10 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(12)
+	if got := g.Load(); got != 12 {
+		t.Fatalf("SetMax did not raise the gauge: %d", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 4, 1, 16) // unsorted on purpose
+	for _, v := range []int64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()["h"]
+	wantBounds := []int64{1, 4, 16}
+	wantCounts := []int64{2, 2, 2, 2} // ≤1, ≤4, ≤16, rest
+	if fmt.Sprint(s.Bounds) != fmt.Sprint(wantBounds) {
+		t.Fatalf("bounds = %v, want %v", s.Bounds, wantBounds)
+	}
+	if fmt.Sprint(s.Counts) != fmt.Sprint(wantCounts) {
+		t.Fatalf("counts = %v, want %v", s.Counts, wantCounts)
+	}
+	if s.Count != 8 || s.Sum != 1045 {
+		t.Fatalf("count/sum = %d/%d, want 8/1045", s.Count, s.Sum)
+	}
+	if m := h.Mean(); m != 1045.0/8 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+// A clock sampling every 4th call must attribute all calls and scale the
+// measured time by calls/sampled in the timer estimate.
+func TestClockSamplingAndEstimate(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("t")
+	c := NewClock(tm, 4)
+	for i := 0; i < 16; i++ {
+		c.Start()
+		c.Stop()
+	}
+	c.Flush()
+	v := r.Snapshot()["t"]
+	if v.Calls != 16 {
+		t.Fatalf("calls = %d, want 16", v.Calls)
+	}
+	if v.Sampled != 4 {
+		t.Fatalf("sampled = %d, want 4", v.Sampled)
+	}
+	// Flushing twice must not double-count.
+	c.Flush()
+	if v2 := r.Snapshot()["t"]; v2.Calls != 16 {
+		t.Fatalf("second flush double-counted: calls = %d", v2.Calls)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("s")
+	s.Add(2, 5)
+	s.Add(0, 1)
+	if got := fmt.Sprint(r.Snapshot()["s"].Values); got != "[1 0 5]" {
+		t.Fatalf("series = %s, want [1 0 5]", got)
+	}
+	s.SetFrom([]int64{7, 8})
+	if got := fmt.Sprint(r.Snapshot()["s"].Values); got != "[7 8]" {
+		t.Fatalf("series = %s, want [7 8]", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// A name claimed by one kind must not be re-handed out as another kind.
+func TestRegistryKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	if g := r.Gauge("x"); g != nil {
+		t.Fatal("gauge under a counter's name must be nil")
+	}
+	// The original metric is unharmed.
+	if got := r.Counter("x").Load(); got != 1 {
+		t.Fatalf("counter clobbered: %d", got)
+	}
+}
+
+func TestFuncMetricIsPullOnly(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.Func("f", func() int64 { calls++; return 42 })
+	if calls != 0 {
+		t.Fatal("Func evaluated eagerly")
+	}
+	if v := r.Snapshot()["f"]; v.Value != 42 || v.Kind != "gauge" {
+		t.Fatalf("func metric = %+v", v)
+	}
+	if calls != 1 {
+		t.Fatalf("func evaluated %d times, want 1", calls)
+	}
+}
+
+// Hammer one registry from many goroutines: get-or-create races, recording
+// races, and concurrent snapshots. Run with -race this doubles as the
+// data-race proof for the whole package.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const ops = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			clk := NewClock(r.Timer("timer"), 8)
+			for i := 0; i < ops; i++ {
+				r.Counter("counter").Inc()
+				r.Gauge("gauge").SetMax(int64(i))
+				r.Histogram("hist", 1, 10, 100).Observe(int64(i % 128))
+				r.Series("series").Add(i%4, 1)
+				clk.Start()
+				clk.Stop()
+				if i%256 == 0 {
+					r.Func(fmt.Sprintf("func/%d", g), func() int64 { return int64(g) })
+					_ = r.Snapshot()
+				}
+			}
+			clk.Flush()
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s["counter"].Value; got != goroutines*ops {
+		t.Fatalf("counter = %d, want %d", got, goroutines*ops)
+	}
+	if got := s["hist"].Count; got != goroutines*ops {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*ops)
+	}
+	if got := s["timer"].Calls; got != goroutines*ops {
+		t.Fatalf("timer calls = %d, want %d", got, goroutines*ops)
+	}
+	var sum int64
+	for _, v := range s["series"].Values {
+		sum += v
+	}
+	if sum != goroutines*ops {
+		t.Fatalf("series sum = %d, want %d", sum, goroutines*ops)
+	}
+}
+
+// Snapshots must marshal deterministically: same metrics, same bytes.
+func TestSnapshotJSONDeterminism(t *testing.T) {
+	mk := func() []byte {
+		r := NewRegistry()
+		r.Counter("b").Add(2)
+		r.Counter("a").Add(1)
+		r.Histogram("h", 1, 2).Observe(1)
+		r.Series("s").SetFrom([]int64{1, 2, 3})
+		b, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := mk(), mk(); string(a) != string(b) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// Scrub must zero every timing field — including histogram payloads of
+// "_ns"-suffixed metrics — while leaving structural metrics alone.
+func TestReportScrub(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("edges").Add(7)
+	r.Gauge("stage_ns").Set(12345)
+	tm := r.Timer("timer")
+	tm.add(100, 10, 2)
+	rep := NewReport("verify", "example1")
+	rep.Metrics = r.Snapshot()
+	rep.Finish(time.Now().Add(-time.Second))
+	if rep.WallNs <= 0 || rep.StartUnixNs == 0 {
+		t.Fatal("Finish did not stamp wall/start")
+	}
+	rep.Scrub()
+	if rep.WallNs != 0 || rep.CPUNs != 0 || rep.PeakRSSBytes != 0 || rep.StartUnixNs != 0 {
+		t.Fatal("Scrub left resource totals")
+	}
+	if v := rep.Metrics["stage_ns"]; v.Value != 0 {
+		t.Fatalf("Scrub left _ns gauge value %d", v.Value)
+	}
+	if v := rep.Metrics["timer"]; v.Ns != 0 || v.Sampled != 0 {
+		t.Fatalf("Scrub left timer ns/sampled %+v", v)
+	}
+	if v := rep.Metrics["timer"]; v.Calls != 10 {
+		t.Fatalf("Scrub dropped deterministic call count: %+v", v)
+	}
+	if v := rep.Metrics["edges"]; v.Value != 7 {
+		t.Fatalf("Scrub clobbered structural counter: %+v", v)
+	}
+}
+
+func TestReportJSONLRoundtrip(t *testing.T) {
+	rep := NewReport("simulate", "example1")
+	rep.Verdict = "label-stable"
+	rep.Trials = []Trial{{Seed: 3, Status: "label-stable", Steps: 5, StabilizedAt: 4}}
+	var sb strings.Builder
+	if err := rep.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	line := sb.String()
+	if strings.Count(line, "\n") != 1 || !strings.HasSuffix(line, "\n") {
+		t.Fatalf("JSONL must be exactly one newline-terminated line: %q", line)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(line), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaV1 || back.Trials[0].Seed != 3 {
+		t.Fatalf("roundtrip lost fields: %+v", back)
+	}
+}
+
+// The debug server must expose the live registry under /debug/vars and the
+// pprof suite under /debug/pprof/.
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	var vars struct {
+		Metrics Snapshot       `json:"metrics"`
+		Runtime map[string]any `json:"runtime"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Metrics["hits"].Value != 3 {
+		t.Fatalf("vars = %+v", vars.Metrics)
+	}
+	if _, ok := vars.Runtime["goroutines"]; !ok {
+		t.Fatal("runtime section missing")
+	}
+	if len(get("/debug/pprof/cmdline")) == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+	if nilSrv := (*DebugServer)(nil); nilSrv.Close() != nil {
+		t.Fatal("nil Close must be nil")
+	}
+}

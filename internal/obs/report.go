@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// SchemaV1 identifies the current report layout. scripts/report_schema.json
+// is the machine-checkable description of this schema (validated in CI by
+// scripts/reportcheck).
+const SchemaV1 = "stateless/report/v1"
+
+// Trial is one entry of a simulation sweep: the per-trial stabilization
+// data cmd/simulate -trials emits so stabilization-time distributions are
+// recoverable from the report (instead of only the sweep's histogram).
+type Trial struct {
+	// Seed is the trial's RNG seed (initial labeling and, for seeded
+	// schedules, the schedule).
+	Seed uint64 `json:"seed"`
+	// Status is the sim.Status string of the run.
+	Status string `json:"status"`
+	// Steps is the number of executed steps.
+	Steps int `json:"steps"`
+	// StabilizedAt is the first step after which the run was stable
+	// (-1 when it never stabilized).
+	StabilizedAt int `json:"stabilized_at"`
+	// CycleLen is the detected configuration-cycle length (0 if none).
+	CycleLen int `json:"cycle_len"`
+}
+
+// Report is a complete structured description of one run — tool, problem
+// instance, options, verdict, resource totals, and a full metrics
+// Snapshot. Marshaling a Report is deterministic (fixed field order,
+// sorted metric names); after Scrub, two identical runs marshal to
+// byte-identical JSON.
+type Report struct {
+	// Schema is always SchemaV1.
+	Schema string `json:"schema"`
+	// Tool names the producing binary: "verify", "simulate", "experiments".
+	Tool string `json:"tool"`
+	// Protocol names the problem instance (protocol or experiment ID).
+	Protocol string `json:"protocol"`
+	// Nodes and Edges describe the instance's graph (0 when not
+	// applicable).
+	Nodes int `json:"nodes,omitempty"`
+	Edges int `json:"edges,omitempty"`
+	// Sigma is the label alphabet size |Σ|.
+	Sigma uint64 `json:"sigma,omitempty"`
+	// R is the fairness parameter of a verification run.
+	R int `json:"r,omitempty"`
+	// Options records the run's flag/option settings, flattened to
+	// strings.
+	Options map[string]string `json:"options,omitempty"`
+	// Verdict is the run's outcome: "stabilizing"/"not-stabilizing" for
+	// verify, the sim.Status string for simulate, "ok" for experiments.
+	Verdict string `json:"verdict,omitempty"`
+	// States and Quotient echo the verifier's Decision.
+	States   int  `json:"states,omitempty"`
+	Quotient int  `json:"quotient,omitempty"`
+	Witness  bool `json:"witness,omitempty"`
+	// StartUnixNs is the run's start time. WallNs/CPUNs/PeakRSSBytes are
+	// filled by Finish; all four are zeroed by Scrub.
+	StartUnixNs  int64 `json:"start_unix_ns,omitempty"`
+	WallNs       int64 `json:"wall_ns,omitempty"`
+	CPUNs        int64 `json:"cpu_ns,omitempty"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// Metrics is the run's full registry snapshot.
+	Metrics Snapshot `json:"metrics,omitempty"`
+	// Trials carries per-trial simulation results (cmd/simulate -trials).
+	Trials []Trial `json:"trials,omitempty"`
+}
+
+// NewReport returns a report stamped with the schema, tool, protocol and
+// start time.
+func NewReport(tool, protocol string) *Report {
+	return &Report{
+		Schema:      SchemaV1,
+		Tool:        tool,
+		Protocol:    protocol,
+		StartUnixNs: time.Now().UnixNano(),
+	}
+}
+
+// Finish stamps the resource totals: wall time since start, process CPU
+// time (user+system), and peak RSS. CPU and RSS are best-effort (0 where
+// the platform offers no cheap reading).
+func (r *Report) Finish(start time.Time) {
+	r.WallNs = int64(time.Since(start))
+	r.CPUNs = processCPUNs()
+	r.PeakRSSBytes = peakRSSBytes()
+}
+
+// Scrub zeroes every machine- or timing-dependent field — wall/CPU/RSS
+// totals, the start timestamp, timer nanoseconds and sample counts, and
+// the Value of any metric named with an "_ns" suffix — leaving only the
+// run's deterministic structure. Two identical runs scrub to byte-
+// identical JSON; the golden-file tests pin exactly that.
+func (r *Report) Scrub() {
+	r.StartUnixNs = 0
+	r.WallNs = 0
+	r.CPUNs = 0
+	r.PeakRSSBytes = 0
+	for name, v := range r.Metrics {
+		v.Ns = 0
+		v.Sampled = 0
+		if strings.HasSuffix(name, "_ns") {
+			v.Value = 0
+			v.Sum = 0
+			v.Counts = nil
+			v.Bounds = nil
+		}
+		r.Metrics[name] = v
+	}
+}
+
+// MarshalIndent renders the report as deterministic, human-diffable JSON.
+func (r *Report) MarshalIndent() ([]byte, error) {
+	var buf bytes.Buffer
+	e := json.NewEncoder(&buf)
+	e.SetIndent("", "  ")
+	if err := e.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteJSONL writes the report as a single JSON line to w.
+func (r *Report) WriteJSONL(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r)
+}
+
+// AppendJSONL appends the report as one JSON line to the named file,
+// creating it if needed — the "-report out.jsonl" sink of the CLIs (one
+// line per job, so long-running services can stream reports into one
+// file).
+func (r *Report) AppendJSONL(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: open report sink: %w", err)
+	}
+	werr := r.WriteJSONL(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("obs: append report: %w", werr)
+	}
+	return cerr
+}

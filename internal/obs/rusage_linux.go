@@ -1,0 +1,41 @@
+//go:build linux
+
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"syscall"
+)
+
+// processCPUNs returns the process's cumulative CPU time (user + system)
+// in nanoseconds.
+func processCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}
+
+// peakRSSBytes returns the process's peak resident set size. VmHWM from
+// /proc/self/status is preferred (bytes-accurate high-water mark);
+// Getrusage's Maxrss (KiB on Linux) is the fallback.
+func peakRSSBytes() int64 {
+	if data, err := os.ReadFile("/proc/self/status"); err == nil {
+		if i := bytes.Index(data, []byte("VmHWM:")); i >= 0 {
+			f := bytes.Fields(data[i+len("VmHWM:"):])
+			if len(f) >= 1 {
+				if kb, err := strconv.ParseInt(string(f[0]), 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss << 10
+}

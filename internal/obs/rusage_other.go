@@ -1,0 +1,9 @@
+//go:build !linux
+
+package obs
+
+// processCPUNs is best-effort; platforms without a cheap reading report 0.
+func processCPUNs() int64 { return 0 }
+
+// peakRSSBytes is best-effort; platforms without a cheap reading report 0.
+func peakRSSBytes() int64 { return 0 }

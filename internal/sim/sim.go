@@ -21,6 +21,7 @@ import (
 	"stateless/internal/enc"
 	"stateless/internal/explore"
 	"stateless/internal/graph"
+	"stateless/internal/obs"
 	"stateless/internal/par"
 	"stateless/internal/schedule"
 )
@@ -75,6 +76,10 @@ type Options struct {
 	CyclePeriod int
 	// Trace, when non-nil, receives each configuration after each step.
 	Trace func(t int, cfg core.Config)
+	// Metrics, when non-nil, receives the run's outcome section (see
+	// Result.Record). Recording happens once per run, after the verdict;
+	// the step loop itself is never instrumented.
+	Metrics *obs.Registry
 }
 
 // DefaultMaxSteps is the step bound when Options.MaxSteps is zero.
@@ -101,8 +106,49 @@ type Result struct {
 // ErrBadInput is returned when the input vector length mismatches the graph.
 var ErrBadInput = errors.New("sim: input length must equal node count")
 
+// Simulator metric names (see Options.Metrics and Result.Record).
+const (
+	MetricRuns         = "sim/runs"
+	MetricSteps        = "sim/steps"
+	MetricStabilizedAt = "sim/stabilized_at"
+	MetricCycleLen     = "sim/cycle_len"
+	// MetricStatusPrefix + Status.String() counts runs per outcome.
+	MetricStatusPrefix = "sim/status/"
+)
+
+// stabBounds buckets rounds-to-stabilize and cycle lengths.
+var stabBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}
+
+// Record attaches the run's outcome to m: run/step counters, a per-status
+// counter, and rounds-to-stabilize / cycle-length histograms. No-op when m
+// is nil. Every simulator frontend (sim.Run, async.Runtime.Run, and the
+// stateful/almost-stateless runners' own Record methods) reports through
+// this shape, so sweeps aggregate uniformly.
+func (r Result) Record(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	m.Counter(MetricRuns).Inc()
+	m.Counter(MetricSteps).Add(int64(r.Steps))
+	m.Counter(MetricStatusPrefix + r.Status.String()).Inc()
+	if r.StabilizedAt >= 0 {
+		m.Histogram(MetricStabilizedAt, stabBounds...).Observe(int64(r.StabilizedAt))
+	}
+	if r.CycleLen > 0 {
+		m.Histogram(MetricCycleLen, stabBounds...).Observe(int64(r.CycleLen))
+	}
+}
+
 // Run executes protocol p on input x from initial labeling l0 under sched.
 func Run(p *core.Protocol, x core.Input, l0 core.Labeling, sched schedule.Schedule, opts Options) (Result, error) {
+	res, err := run(p, x, l0, sched, opts)
+	if err == nil {
+		res.Record(opts.Metrics)
+	}
+	return res, err
+}
+
+func run(p *core.Protocol, x core.Input, l0 core.Labeling, sched schedule.Schedule, opts Options) (Result, error) {
 	g := p.Graph()
 	if len(x) != g.N() {
 		return Result{}, fmt.Errorf("%w: got %d want %d", ErrBadInput, len(x), g.N())

@@ -1,0 +1,153 @@
+package verify_test
+
+import (
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/explore"
+	"stateless/internal/obs"
+	"stateless/internal/protocols"
+	"stateless/internal/verify"
+)
+
+// Instrumentation must be strictly observational: for a sweep of
+// instances, stores, symmetry settings and worker counts, the verdict,
+// state count, quotient and witness presence must be identical with a
+// registry attached and without one.
+func TestOracleMetricsOnVsOff(t *testing.T) {
+	type instance struct {
+		name   string
+		p      *core.Protocol
+		output bool
+		r      int
+	}
+	var instances []instance
+	k3, err := protocols.Example1Clique(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances = append(instances, instance{"example1-k3-label", k3, false, 2})
+	instances = append(instances, instance{"example1-k3-output", k3, true, 2})
+	for _, m := range []int{3, 5} {
+		p := uniformRingProtocol(t, m, 3, uint64(m)*7)
+		instances = append(instances, instance{"ring", p, false, 2})
+		instances = append(instances, instance{"ring-out", p, true, 2})
+	}
+	for _, inst := range instances {
+		for _, st := range []verify.StoreKind{verify.StoreDense, verify.StoreHash} {
+			for _, sy := range []verify.SymmetryMode{verify.SymmetryOff, verify.SymmetryAuto} {
+				for _, w := range []int{1, 4} {
+					decide := verify.LabelRStabilizingOpts
+					if inst.output {
+						decide = verify.OutputRStabilizingOpts
+					}
+					x := make(core.Input, inst.p.Graph().N())
+					base := verify.Options{Limit: 1 << 22, Workers: w, Store: st, Symmetry: sy}
+					plain, err := decide(inst.p, x, inst.r, base)
+					if err != nil {
+						t.Fatalf("%s: %v", inst.name, err)
+					}
+					reg := obs.NewRegistry()
+					base.Metrics = reg
+					instr, err := decide(inst.p, x, inst.r, base)
+					if err != nil {
+						t.Fatalf("%s (instrumented): %v", inst.name, err)
+					}
+					if plain.Stabilizing != instr.Stabilizing ||
+						plain.States != instr.States ||
+						plain.Quotient != instr.Quotient ||
+						(plain.Witness == nil) != (instr.Witness == nil) {
+						t.Fatalf("%s store=%v sym=%v w=%d: instrumented decision %+v != plain %+v",
+							inst.name, st, sy, w, instr, plain)
+					}
+					if plain.Witness != nil && !inst.output {
+						for i := range plain.Witness.Labelings {
+							if !plain.Witness.Labelings[i].Equal(instr.Witness.Labelings[i]) {
+								t.Fatalf("%s: witness differs with instrumentation", inst.name)
+							}
+						}
+					}
+					assertCoreMetrics(t, inst.name, reg, instr)
+				}
+			}
+		}
+	}
+}
+
+// assertCoreMetrics checks the registry is actually populated and
+// internally consistent with the decision.
+func assertCoreMetrics(t *testing.T, name string, reg *obs.Registry, dec verify.Decision) {
+	t.Helper()
+	s := reg.Snapshot()
+	if got := s[explore.MetricStates].Value; got != int64(dec.States) {
+		t.Fatalf("%s: %s = %d, want %d", name, explore.MetricStates, got, dec.States)
+	}
+	if got := s[verify.MetricStates].Value; got != int64(dec.States) {
+		t.Fatalf("%s: %s = %d, want %d", name, verify.MetricStates, got, dec.States)
+	}
+	if got := s[verify.MetricQuotient].Value; got != int64(dec.Quotient) {
+		t.Fatalf("%s: quotient metric = %d, want %d", name, got, dec.Quotient)
+	}
+	// Per-depth discoveries must sum to the interned states.
+	var sum int64
+	for _, v := range s[explore.MetricFrontierByDepth].Values {
+		sum += v
+	}
+	if sum != int64(dec.States) {
+		t.Fatalf("%s: frontier_by_depth sums to %d, want %d", name, sum, dec.States)
+	}
+	// Batch fill observations: one per expanded state; edges = total fill.
+	fill := s[explore.MetricBatchFill]
+	if fill.Count != s[explore.MetricExpanded].Value {
+		t.Fatalf("%s: fill count %d != expanded %d", name, fill.Count, s[explore.MetricExpanded].Value)
+	}
+	if got := s[verify.MetricEdges].Value; got != fill.Sum {
+		t.Fatalf("%s: edges %d != total successors %d", name, got, fill.Sum)
+	}
+	// Stage timers attribute every expansion exactly once.
+	if got := s[verify.MetricStepNs].Calls; got != s[explore.MetricExpanded].Value {
+		t.Fatalf("%s: step timer calls %d != expanded %d", name, got, s[explore.MetricExpanded].Value)
+	}
+	if s[explore.MetricStoreOccupancyPPM].Value <= 0 {
+		t.Fatalf("%s: store occupancy not reported", name)
+	}
+	if s[verify.MetricSCCs].Value <= 0 {
+		t.Fatalf("%s: SCC count not reported", name)
+	}
+	viol := s[verify.MetricViolatingSCCs].Value
+	if dec.Stabilizing != (viol == 0) {
+		t.Fatalf("%s: violating SCCs %d inconsistent with verdict %v", name, viol, dec.Stabilizing)
+	}
+}
+
+// The engine's depth series must be exact on a chain protocol at one
+// worker: a unidirectional |Σ|=1 dynamic has exactly one state per depth.
+func TestDepthTrackingExactOnDeterministicChain(t *testing.T) {
+	p := uniformRingProtocol(t, 4, 2, 99)
+	x := make(core.Input, 4)
+	reg := obs.NewRegistry()
+	dec, err := verify.LabelRStabilizingOpts(p, x, 1, verify.Options{
+		Limit: 1 << 20, Workers: 1, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	depths := s[explore.MetricFrontierByDepth].Values
+	if len(depths) == 0 {
+		t.Fatal("no depth series recorded")
+	}
+	if int(depths[0]) == 0 {
+		t.Fatal("no seeds recorded at depth 0")
+	}
+	if got := s[explore.MetricDepth].Value; got != int64(len(depths)-1) {
+		t.Fatalf("max depth gauge %d != series length-1 %d", got, len(depths)-1)
+	}
+	var sum int64
+	for _, v := range depths {
+		sum += v
+	}
+	if sum != int64(dec.States) {
+		t.Fatalf("depth series sums to %d, want %d states", sum, dec.States)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"stateless/internal/enc"
 	"stateless/internal/explore"
 	"stateless/internal/graph"
+	"stateless/internal/obs"
 	"stateless/internal/par"
 )
 
@@ -118,7 +119,39 @@ type Options struct {
 	Progress func(Progress)
 	// ProgressInterval is the snapshot period (≤ 0 means 1s).
 	ProgressInterval time.Duration
+	// Metrics, when non-nil, receives the run's full telemetry: the
+	// engine's counters, per-depth discovery series, batch-fill histogram
+	// and stage timers (explore/*, store/* — see explore.Config.Metrics),
+	// plus the verifier's own sections: sampled timers for the expansion
+	// sub-stages (verify/step_ns, verify/pack_ns, verify/canonicalize_ns),
+	// analysis-phase wall totals (verify/rank_ns, verify/csr_ns,
+	// verify/scc_ns, verify/witness_ns), and structural gauges
+	// (verify/edges, verify/sccs, verify/violating_sccs, verify/quotient,
+	// verify/states). Attaching a registry never changes the verdict,
+	// witness, or state count; leaving it nil — the default — keeps the
+	// hot path free of measurement work.
+	Metrics *obs.Registry
 }
+
+// Verifier metric names (see Options.Metrics).
+const (
+	MetricStepNs        = "verify/step_ns"
+	MetricPackNs        = "verify/pack_ns"
+	MetricCanonNs       = "verify/canonicalize_ns"
+	MetricRankNs        = "verify/rank_ns"
+	MetricCSRNs         = "verify/csr_ns"
+	MetricSCCNs         = "verify/scc_ns"
+	MetricWitnessNs     = "verify/witness_ns"
+	MetricEdges         = "verify/edges"
+	MetricSCCs          = "verify/sccs"
+	MetricViolatingSCCs = "verify/violating_sccs"
+	MetricQuotient      = "verify/quotient"
+	MetricStates        = "verify/states"
+)
+
+// stageSampleEvery is the expander stage-timer sampling interval: one in 64
+// calls is measured, mirroring the engine's own clocks.
+const stageSampleEvery = 64
 
 // Witness describes why a protocol is not r-stabilizing: a reachable cycle
 // in the states-graph along which the labeling (or output vector) changes.
@@ -329,6 +362,15 @@ type expander struct {
 	// and reallocation memmove was a visible slice of the profile.
 	edges [][]stateEdge
 
+	// Stage telemetry (nil without Options.Metrics): sampled stopwatches
+	// over the expansion sub-stages, flushed once after the engine joins
+	// its workers (the engine never touches them), plus the edge counter
+	// bumped once per absorbed batch.
+	clkStep   *obs.Clock
+	clkPack   *obs.Clock
+	clkCanon  *obs.Clock
+	edgeCount *obs.Counter
+
 	// Single-word patch path (expandFast): a node's activation rewrites a
 	// fixed, per-node set of bits of the packed word — its out-edge label
 	// fields, its countdown field, and its output bit — and those bit sets
@@ -362,6 +404,12 @@ func (e *explorer) newExpander() *expander {
 	}
 	if e.sym != nil {
 		ex.canon = e.sym.NewCanon()
+	}
+	if m := e.opts.Metrics; m != nil {
+		ex.clkStep = obs.NewClock(m.Timer(MetricStepNs), stageSampleEvery)
+		ex.clkPack = obs.NewClock(m.Timer(MetricPackNs), stageSampleEvery)
+		ex.clkCanon = obs.NewClock(m.Timer(MetricCanonNs), stageSampleEvery)
+		ex.edgeCount = m.Counter(MetricEdges)
 	}
 	if c := e.codec; c.Words() == 1 {
 		ex.fast = true
@@ -444,7 +492,10 @@ func (ex *expander) expandFast(words []uint64, b *explore.Batch) {
 	n := g.N()
 	ex.cur.Labels = e.codec.UnpackLabels(words, ex.cur.Labels)
 	ex.cd = e.codec.UnpackCountdown(words, ex.cd)
+	ex.clkStep.Start()
 	ex.stepper.Reactions(e.x, ex.cur, ex.reactL, ex.reactO)
+	ex.clkStep.Stop()
+	ex.clkPack.Start()
 	hasOut := e.codec.HasOutputs()
 	for v := 0; v < n; v++ {
 		pv := ex.patchFixed[v]
@@ -496,6 +547,7 @@ func (ex *expander) expandFast(words []uint64, b *explore.Batch) {
 			block[sub-1] = prev&^ex.clearMask[v] | ex.patch[v]
 		}
 	}
+	ex.clkPack.Stop()
 	ex.finish(words, b, block, count)
 }
 
@@ -544,7 +596,10 @@ func (ex *expander) expandGeneric(words []uint64, b *explore.Batch) {
 		}
 	}
 	count := ex.sets.Len()
+	ex.clkStep.Start()
 	ex.stepper.StepBatch(e.x, ex.cur, &ex.sets, ex.batch)
+	ex.clkStep.Stop()
+	ex.clkPack.Start()
 	// Successor countdowns: inactive nodes decrement, active nodes reset to
 	// r. The decremented base is computed once; cd − 1 < r always (cd ≤ r),
 	// so overwriting the active entries afterwards never misfires.
@@ -564,6 +619,7 @@ func (ex *expander) expandGeneric(words []uint64, b *explore.Batch) {
 	}
 	block := b.Alloc(count)
 	e.codec.PackBatch(count, ex.batch.LabelsFlat(), ex.cds, ex.batch.OutputsFlat(), block)
+	ex.clkPack.Stop()
 	ex.finish(words, b, block, count)
 }
 
@@ -590,7 +646,9 @@ func (ex *expander) finish(words []uint64, b *explore.Batch, block []uint64, cou
 		ex.raw = append(ex.raw[:0], block...)
 	}
 	if ex.canon != nil {
+		ex.clkCanon.Start()
 		ex.canon.CanonicalizeBatch(block, count)
+		ex.clkCanon.Stop()
 	}
 }
 
@@ -600,6 +658,7 @@ const edgeChunk = 1 << 16
 // Absorb records one transition per successor once the engine has interned
 // the batch and filled in the store IDs.
 func (ex *expander) Absorb(id int32, b *explore.Batch) error {
+	ex.edgeCount.Add(int64(len(b.IDs)))
 	if len(ex.edges) == 0 {
 		ex.edges = append(ex.edges, make([]stateEdge, 0, edgeChunk))
 	}
@@ -669,7 +728,21 @@ func (e *explorer) explore() error {
 		MaxBatch:         e.opts.Batch,
 		Progress:         e.opts.Progress,
 		ProgressInterval: e.opts.ProgressInterval,
+		Metrics:          e.opts.Metrics,
 	})
+}
+
+// flushStageClocks merges every worker's sampled stage locals into the
+// shared timers. Called after the engine has joined its workers, so no
+// Clock is concurrently active.
+func (e *explorer) flushStageClocks() {
+	for _, ex := range e.expanders {
+		if ex != nil {
+			ex.clkStep.Flush()
+			ex.clkPack.Flush()
+			ex.clkCanon.Flush()
+		}
+	}
 }
 
 // csr is the explored states-graph in compressed sparse row form, over
@@ -850,6 +923,7 @@ func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opt
 		return Decision{}, err
 	}
 	if err := e.explore(); err != nil {
+		e.flushStageClocks()
 		if errors.Is(err, explore.ErrLimit) {
 			return Decision{}, fmt.Errorf("%w: %v", ErrStateSpaceTooLarge, err)
 		}
@@ -858,32 +932,49 @@ func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opt
 		}
 		return Decision{}, err
 	}
+	e.flushStageClocks()
+	m := opts.Metrics
 	total := e.store.Compact()
 	chunks := e.edgeChunks()
+	// Analysis-phase timings are single measurements per run, so they use
+	// plain wall clocks rather than the hot path's sampled stopwatches.
+	t0 := time.Now()
 	e.rankEdges(chunks)
+	t1 := time.Now()
 	sg := e.buildCSR(total, chunks)
+	t2 := time.Now()
 	comp, nComps := sg.sccs()
+	t3 := time.Now()
+	m.Gauge(MetricRankNs).Set(int64(t1.Sub(t0)))
+	m.Gauge(MetricCSRNs).Set(int64(t2.Sub(t1)))
+	m.Gauge(MetricSCCNs).Set(int64(t3.Sub(t2)))
+	m.Gauge(MetricSCCs).Set(int64(nComps))
 
 	// A violating SCC contains an internal section-changing transition.
 	violating := make([]bool, nComps)
-	anyViolation := false
+	nViolating := 0
 	for _, c := range chunks {
 		for _, ed := range c {
 			if !ed.changed {
 				continue
 			}
 			cc := comp[ed.src]
-			if cc == comp[ed.dst] {
+			if cc == comp[ed.dst] && !violating[cc] {
 				violating[cc] = true
-				anyViolation = true
+				nViolating++
 			}
 		}
 	}
-	dec := Decision{Stabilizing: !anyViolation, States: total, Quotient: e.sym.Order()}
-	if !anyViolation {
+	m.Gauge(MetricViolatingSCCs).Set(int64(nViolating))
+	m.Gauge(MetricQuotient).Set(int64(e.sym.Order()))
+	m.Gauge(MetricStates).Set(int64(total))
+	dec := Decision{Stabilizing: nViolating == 0, States: total, Quotient: e.sym.Order()}
+	if nViolating == 0 {
 		return dec, nil
 	}
+	t4 := time.Now()
 	w, err := e.witness(total, comp, violating)
+	m.Gauge(MetricWitnessNs).Set(int64(time.Since(t4)))
 	if err != nil {
 		return Decision{}, err
 	}

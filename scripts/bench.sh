@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the verifier benchmarks and emit BENCH_verify.json with
-# three sections:
+# four sections:
 #
 #   configs        states/s for every BenchmarkVerifyStatesGraph
 #                  configuration (clique worker counts, ring store ×
@@ -10,9 +10,18 @@
 #                  the end-to-end latency the states/s rate alone hides
 #                  (under symmetry quotienting states/s divides by fewer,
 #                  canonical, states, so the two metrics move differently);
+#   structure      machine-independent exploration-shape metrics per
+#                  configuration: mean successor-batch fill and store
+#                  occupancy (ppm) at the verdict, from an instrumented
+#                  pre-run (internal/obs). Guarded in BOTH directions —
+#                  drift means the exploration changed, not the machine;
 #   micro          succ/s for the per-stage hot-path micro-benchmarks
 #                  (BenchmarkStep/Pack/Canonicalize/Intern, single vs
 #                  batched variants — see microbench_test.go).
+#
+# Alongside the JSON it writes ${OUT%.json}.report.jsonl: one obs.Report
+# line from a small instrumented cmd/verify run, so the full stage-timer /
+# depth-profile telemetry of the benchmark machine rides with the baseline.
 #
 # The checked-in BENCH_verify.json is the perf-trajectory baseline; CI's
 # bench-sanity job re-measures and fails on a large regression in any
@@ -29,13 +38,15 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-3x}"
 MICROBENCHTIME="${MICROBENCHTIME:-1000x}"
 OUT="${1:-BENCH_verify.json}"
+REPORT="${OUT%.json}.report.jsonl"
 
 PROFILE_ARGS=()
 if [ -n "${CPUPROFILE:-}" ]; then
   PROFILE_ARGS=(-cpuprofile "$CPUPROFILE")
 fi
 
-# name <TAB> states/s <TAB> ms/verdict per states-graph configuration.
+# name <TAB> states/s <TAB> ms/verdict <TAB> fill <TAB> occ_ppm per
+# states-graph configuration ("-" when a structural metric is absent).
 MACRO=$(go test -run '^$' -bench BenchmarkVerifyStatesGraph \
   -benchtime "$BENCHTIME" -count 1 "${PROFILE_ARGS[@]}" . |
   awk '
@@ -43,12 +54,15 @@ MACRO=$(go test -run '^$' -bench BenchmarkVerifyStatesGraph \
       name = $1
       sub(/^BenchmarkVerifyStatesGraph\//, "", name)
       sub(/-[0-9]+$/, "", name)
-      rate = ""; ns = ""
+      rate = ""; ns = ""; fill = "-"; occ = "-"
       for (i = 2; i < NF; i++) {
         if ($(i + 1) == "states/s") rate = $i
         if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "fill") fill = $i
+        if ($(i + 1) == "occ_ppm") occ = $i
       }
-      if (rate != "" && ns != "") printf "%s\t%s\t%.3f\n", name, rate, ns / 1e6
+      if (rate != "" && ns != "")
+        printf "%s\t%s\t%.3f\t%s\t%s\n", name, rate, ns / 1e6, fill, occ
     }')
 
 # name <TAB> succ/s per micro-benchmark (per-stage hot-path throughput).
@@ -69,7 +83,7 @@ MICRO=$(go test -run '^$' \
   printf '{\n  "benchmark": "BenchmarkVerifyStatesGraph",\n  "metric": "states/s",\n'
   printf '  "configs": {\n'
   first=1
-  while IFS=$'\t' read -r name rate ms; do
+  while IFS=$'\t' read -r name rate ms fill occ; do
     [ "$first" -eq 0 ] && printf ',\n'
     printf '    "%s": %s' "$name" "$rate"
     first=0
@@ -77,10 +91,25 @@ MICRO=$(go test -run '^$' \
   printf '\n  },\n'
   printf '  "ms_per_verdict": {\n'
   first=1
-  while IFS=$'\t' read -r name rate ms; do
+  while IFS=$'\t' read -r name rate ms fill occ; do
     [ "$first" -eq 0 ] && printf ',\n'
     printf '    "%s": %s' "$name" "$ms"
     first=0
+  done <<<"$MACRO"
+  printf '\n  },\n'
+  printf '  "structure": {\n'
+  first=1
+  while IFS=$'\t' read -r name rate ms fill occ; do
+    [ "$fill" = "-" ] || {
+      [ "$first" -eq 0 ] && printf ',\n'
+      printf '    "%s/fill": %s' "$name" "$fill"
+      first=0
+    }
+    [ "$occ" = "-" ] || {
+      [ "$first" -eq 0 ] && printf ',\n'
+      printf '    "%s/occ_ppm": %s' "$name" "$occ"
+      first=0
+    }
   done <<<"$MACRO"
   printf '\n  },\n'
   printf '  "micro": {\n'
@@ -94,6 +123,14 @@ MICRO=$(go test -run '^$' \
 } >"$OUT"
 
 echo "wrote $OUT" >&2
+
+# Full instrumented telemetry of the benchmark workload: one obs.Report
+# JSONL line per bench run (stage timers, depth profile, store stats) from
+# the same clique instance the states-graph benchmark times.
+rm -f "$REPORT"
+go run ./cmd/verify -protocol example1 -n 4 -r 3 -report "$REPORT" >/dev/null
+echo "wrote $REPORT" >&2
+
 if [ -n "${CPUPROFILE:-}" ]; then
   echo "wrote CPU profile $CPUPROFILE" >&2
 fi

@@ -1,12 +1,17 @@
 // Command benchguard compares a freshly measured BENCH_verify.json (see
 // scripts/bench.sh) against the checked-in baseline and exits nonzero when
-// any metric regressed by more than the allowed factor. Three sections are
+// any metric regressed by more than the allowed factor. Four sections are
 // guarded:
 //
 //   - configs: unique-states/s per states-graph configuration (higher is
 //     better, ratio = baseline/current);
 //   - ms_per_verdict: wall milliseconds per full verdict per configuration
 //     (lower is better, ratio = current/baseline);
+//   - structure: mean successor-batch fill and store occupancy (ppm) at
+//     the verdict per configuration (from internal/obs instrumentation).
+//     These are machine-independent, so they are pinned tightly in BOTH
+//     directions — any drift means the exploration itself changed, which
+//     must be a deliberate, baseline-regenerating change;
 //   - micro: succ/s per per-stage micro-benchmark (higher is better,
 //     guarded at a looser factor — single-stage numbers are noisier than
 //     end-to-end ones).
@@ -38,6 +43,7 @@ type benchFile struct {
 	Metric       string             `json:"metric"`
 	Configs      map[string]float64 `json:"configs"`
 	MsPerVerdict map[string]float64 `json:"ms_per_verdict"`
+	Structure    map[string]float64 `json:"structure"`
 	Micro        map[string]float64 `json:"micro"`
 }
 
@@ -55,6 +61,7 @@ func run(args []string, stdout *os.File) error {
 		currentPath  = fs.String("current", "", "freshly measured JSON")
 		maxRegress   = fs.Float64("max-regress", 2.0, "fail when an end-to-end metric regresses by this factor")
 		microRegress = fs.Float64("micro-regress", 3.0, "fail when a micro-benchmark regresses by this factor")
+		structDrift  = fs.Float64("structure-drift", 1.2, "fail when a structural metric drifts by this factor in either direction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,8 +108,42 @@ func run(args []string, stdout *os.File) error {
 				status, section, name, b, c, ratio)
 		}
 	}
+	// Structural metrics are not a speed race: the check is symmetric, and
+	// an "improvement" fails too — batch fill or occupancy moving at all
+	// means the exploration explored differently than the baseline.
+	checkDrift := func(section string, base, cur map[string]float64, factor float64) {
+		if len(base) == 0 {
+			return
+		}
+		names := make([]string, 0, len(base))
+		for name := range base {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b := base[name]
+			c, ok := cur[name]
+			if !ok {
+				fmt.Fprintf(stdout, "FAIL %-16s %-28s missing from current run\n", section, name)
+				failures = append(failures, section)
+				continue
+			}
+			ratio := c / b
+			if ratio < 1 && ratio > 0 {
+				ratio = 1 / ratio
+			}
+			status := "ok  "
+			if b <= 0 || c <= 0 || ratio > factor {
+				status = "FAIL"
+				failures = append(failures, section)
+			}
+			fmt.Fprintf(stdout, "%s %-16s %-28s baseline %14.3f  current %14.3f  drift %.2fx\n",
+				status, section, name, b, c, ratio)
+		}
+	}
 	check("states/s", baseline.Configs, current.Configs, false, *maxRegress)
 	check("ms/verdict", baseline.MsPerVerdict, current.MsPerVerdict, true, *maxRegress)
+	checkDrift("structure", baseline.Structure, current.Structure, *structDrift)
 	check("micro succ/s", baseline.Micro, current.Micro, false, *microRegress)
 	if len(failures) > 0 {
 		return fmt.Errorf("%d metric(s) regressed beyond the allowed factor", len(failures))

@@ -1,0 +1,248 @@
+// Command reportcheck validates obs.Report JSON/JSONL files against a
+// checked-in schema (scripts/report_schema.json by default). CI runs it on
+// the report emitted by an instrumented verify run, so a report that drops
+// a required metric, changes a field type, or breaks the schema constant
+// fails the build rather than silently shipping a malformed artifact.
+//
+// The validator implements exactly the subset of JSON Schema the checked-in
+// schema uses — type, const, enum, required, properties,
+// additionalProperties, items, minimum — with no external dependencies.
+// Unknown schema keywords are rejected so the schema file cannot silently
+// rely on unimplemented semantics.
+//
+// Usage:
+//
+//	go run ./scripts/reportcheck -schema scripts/report_schema.json report.jsonl...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "scripts/report_schema.json", "JSON schema file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "reportcheck: no report files given")
+		os.Exit(2)
+	}
+	schema, err := loadSchema(*schemaPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reportcheck:", err)
+		os.Exit(1)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		n, err := checkFile(schema, path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("ok %s: %d report(s) valid\n", path, n)
+	}
+	os.Exit(exit)
+}
+
+// checkFile validates every JSON value in the file (JSONL or a single
+// indented document) and returns how many it saw.
+func checkFile(schema *schema, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	n := 0
+	for dec.More() {
+		var v any
+		if err := dec.Decode(&v); err != nil {
+			return n, fmt.Errorf("report %d: invalid JSON: %w", n+1, err)
+		}
+		if err := schema.validate(v, "$"); err != nil {
+			return n, fmt.Errorf("report %d: %w", n+1, err)
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no reports in file")
+	}
+	return n, nil
+}
+
+// schema is one node of the supported JSON-Schema subset.
+type schema struct {
+	Type                 string             `json:"type"`
+	Const                any                `json:"const"`
+	Enum                 []any              `json:"enum"`
+	Required             []string           `json:"required"`
+	Properties           map[string]*schema `json:"properties"`
+	AdditionalProperties *schema            `json:"additionalProperties"`
+	Items                *schema            `json:"items"`
+	Minimum              *float64           `json:"minimum"`
+}
+
+// supportedKeywords guards against schema files using JSON-Schema features
+// this validator does not implement (which would otherwise pass silently).
+var supportedKeywords = map[string]bool{
+	"$comment": true, "type": true, "const": true, "enum": true,
+	"required": true, "properties": true, "additionalProperties": true,
+	"items": true, "minimum": true,
+}
+
+func loadSchema(path string) (*schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := checkKeywords(raw, "$"); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var s schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// checkKeywords walks the raw schema document and rejects unknown keywords
+// at any nesting level.
+func checkKeywords(raw any, at string) error {
+	obj, ok := raw.(map[string]any)
+	if !ok {
+		return fmt.Errorf("%s: schema node is not an object", at)
+	}
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !supportedKeywords[k] {
+			return fmt.Errorf("%s: unsupported schema keyword %q", at, k)
+		}
+	}
+	if props, ok := obj["properties"].(map[string]any); ok {
+		for name, sub := range props {
+			if err := checkKeywords(sub, at+"."+name); err != nil {
+				return err
+			}
+		}
+	}
+	if ap, ok := obj["additionalProperties"]; ok {
+		if err := checkKeywords(ap, at+".*"); err != nil {
+			return err
+		}
+	}
+	if items, ok := obj["items"]; ok {
+		if err := checkKeywords(items, at+"[]"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *schema) validate(v any, at string) error {
+	if s == nil {
+		return nil
+	}
+	if s.Const != nil {
+		if !equalJSON(v, s.Const) {
+			return fmt.Errorf("%s: got %v, want const %v", at, v, s.Const)
+		}
+	}
+	if len(s.Enum) > 0 {
+		ok := false
+		for _, e := range s.Enum {
+			if equalJSON(v, e) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%s: %v not in enum %v", at, v, s.Enum)
+		}
+	}
+	if s.Type != "" {
+		if err := checkType(v, s.Type, at); err != nil {
+			return err
+		}
+	}
+	if s.Minimum != nil {
+		f, ok := v.(float64)
+		if !ok {
+			return fmt.Errorf("%s: minimum constraint on non-number %T", at, v)
+		}
+		if f < *s.Minimum {
+			return fmt.Errorf("%s: %v below minimum %v", at, f, *s.Minimum)
+		}
+	}
+	if obj, ok := v.(map[string]any); ok {
+		for _, req := range s.Required {
+			if _, present := obj[req]; !present {
+				return fmt.Errorf("%s: missing required field %q", at, req)
+			}
+		}
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub, listed := s.Properties[k]
+			if !listed {
+				sub = s.AdditionalProperties
+			}
+			if err := sub.validate(obj[k], at+"."+k); err != nil {
+				return err
+			}
+		}
+	}
+	if arr, ok := v.([]any); ok && s.Items != nil {
+		for i, e := range arr {
+			if err := s.Items.validate(e, fmt.Sprintf("%s[%d]", at, i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(v any, typ, at string) error {
+	ok := false
+	switch typ {
+	case "object":
+		_, ok = v.(map[string]any)
+	case "array":
+		_, ok = v.([]any)
+	case "string":
+		_, ok = v.(string)
+	case "boolean":
+		_, ok = v.(bool)
+	case "number":
+		_, ok = v.(float64)
+	case "integer":
+		f, isNum := v.(float64)
+		ok = isNum && f == math.Trunc(f)
+	default:
+		return fmt.Errorf("%s: schema uses unknown type %q", at, typ)
+	}
+	if !ok {
+		return fmt.Errorf("%s: got %T, want %s", at, v, typ)
+	}
+	return nil
+}
+
+// equalJSON compares decoded JSON values (strings, numbers, bools).
+func equalJSON(a, b any) bool {
+	return a == b
+}

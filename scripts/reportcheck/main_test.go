@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const schemaPath = "../report_schema.json"
+
+// The checked-in golden verify report must satisfy the checked-in schema —
+// the same pairing CI enforces on a live run.
+func TestGoldenReportMatchesSchema(t *testing.T) {
+	s, err := loadSchema(schemaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := checkFile(s, filepath.Join("..", "..", "cmd", "verify", "testdata", "report_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("golden file held %d reports, want 1", n)
+	}
+}
+
+// Mutilated reports must fail: wrong schema constant, a missing required
+// metric, and a mistyped field each have to be caught.
+func TestSchemaRejectsBrokenReports(t *testing.T) {
+	s, err := loadSchema(schemaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "cmd", "verify", "testdata", "report_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(t *testing.T, f func(m map[string]any)) {
+		t.Helper()
+		var m map[string]any
+		if err := json.Unmarshal(golden, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "report.jsonl")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := checkFile(s, path); err == nil {
+			t.Fatal("schema accepted a broken report")
+		}
+	}
+	t.Run("wrong-schema-const", func(t *testing.T) {
+		mutate(t, func(m map[string]any) { m["schema"] = "stateless/report/v0" })
+	})
+	t.Run("missing-required-metric", func(t *testing.T) {
+		mutate(t, func(m map[string]any) {
+			delete(m["metrics"].(map[string]any), "explore/batch_fill")
+		})
+	})
+	t.Run("mistyped-states", func(t *testing.T) {
+		mutate(t, func(m map[string]any) { m["states"] = "139" })
+	})
+	t.Run("bad-metric-kind", func(t *testing.T) {
+		mutate(t, func(m map[string]any) {
+			m["metrics"].(map[string]any)["verify/edges"].(map[string]any)["kind"] = "blob"
+		})
+	})
+}
+
+// The keyword guard must reject schemas that use JSON-Schema features this
+// validator does not implement.
+func TestUnsupportedKeywordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "schema.json")
+	if err := os.WriteFile(path, []byte(`{"type":"object","patternProperties":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSchema(path); err == nil {
+		t.Fatal("unsupported keyword accepted")
+	}
+}
