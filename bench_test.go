@@ -83,22 +83,13 @@ func BenchmarkE12_AsyncRuntime(b *testing.B) {
 
 // Micro-benchmarks for the engine itself.
 
-// benchRingProtocol is the E1-style ring workload: a node-uniform
-// saturating counter on the unidirectional n-ring over Σ = {0,1,2}
-// (out = min(in+1, 2); output bit = parity). Uniformity plus the all-zero
-// input makes the rotation quotient applicable, so the benchmark can
-// compare store backends and symmetry settings on one protocol.
+// benchRingProtocol is the E1-style ring workload — protocols.SaturatingRing
+// over Σ = {0,1,2}. Uniformity plus the all-zero input makes the rotation
+// quotient applicable, so the benchmark can compare store backends and
+// symmetry settings on one protocol.
 func benchRingProtocol(b *testing.B, n int) *core.Protocol {
 	b.Helper()
-	p, err := core.NewUniformProtocol(graph.Ring(n), core.MustLabelSpace(3),
-		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
-			v := in[0]
-			if v < 2 {
-				v++
-			}
-			out[0] = v
-			return core.Bit(v & 1)
-		})
+	p, err := protocols.SaturatingRing(n, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -111,13 +102,16 @@ func benchRingProtocol(b *testing.B, n int) *core.Protocol {
 // The clique variants run the historical E1 workload (Example 1's clique
 // at the adversarial fairness r = n−1) across worker counts; the ring
 // variants run the E1-style ring workload across the store backends
-// (dense direct-indexed vs sharded hash) and symmetry quotienting (on =
-// all n rotations, off = raw states-graph). states/s counts *explored*
-// states, so the symmetry speedup shows up in ns/op (same verdict from
-// ~n× fewer states), while the dense-store speedup shows up in states/s
-// directly. scripts/bench.sh turns this benchmark into BENCH_verify.json
-// and CI guards it against regressions. Run with -benchmem: exploration
-// does zero per-state string allocation.
+// (dense direct-indexed vs sharded hash vs lossy bitstate) and symmetry
+// quotienting (on = all n rotations, off = raw states-graph). states/s
+// counts *explored* states, so the symmetry speedup shows up in ns/op
+// (same verdict from ~n× fewer states), while store speedups show up in
+// states/s directly. The bitstate rows use a 2^24-bit array — hash factor
+// ≫ 100 at this instance's size, so the admitted-state count (and with it
+// the occ_ppm structural pin) is collision-free and deterministic.
+// scripts/bench.sh turns this benchmark into BENCH_verify.json and CI
+// guards it against regressions. Run with -benchmem: exploration does
+// zero per-state string allocation.
 func BenchmarkVerifyStatesGraph(b *testing.B) {
 	p, err := protocols.Example1Clique(4)
 	if err != nil {
@@ -155,17 +149,18 @@ func BenchmarkVerifyStatesGraph(b *testing.B) {
 		{"ring/store=hash/sym=on", verify.StoreHash, verify.SymmetryOn},
 		{"ring/store=dense/sym=off", verify.StoreDense, verify.SymmetryOff},
 		{"ring/store=dense/sym=on", verify.StoreDense, verify.SymmetryOn},
+		{"ring/store=bitstate/sym=off", verify.StoreBitstate, verify.SymmetryOff},
+		{"ring/store=bitstate/sym=on", verify.StoreBitstate, verify.SymmetryOn},
 	} {
+		opts := verify.Options{
+			Limit: 1 << 24, Store: cfg.store, Symmetry: cfg.sym, BitstateBits: 24,
+		}
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
-			reportStructure(b, ring, rx, 3, verify.Options{
-				Limit: 1 << 24, Store: cfg.store, Symmetry: cfg.sym,
-			})
+			reportStructure(b, ring, rx, 3, opts)
 			states := 0
 			for i := 0; i < b.N; i++ {
-				dec, err := verify.LabelRStabilizingOpts(ring, rx, 3, verify.Options{
-					Limit: 1 << 24, Store: cfg.store, Symmetry: cfg.sym,
-				})
+				dec, err := verify.LabelRStabilizingOpts(ring, rx, 3, opts)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -8,6 +8,14 @@
 //	verify -protocol bgp-disagree -r 2 -output
 //	verify -protocol example1 -n 4 -r 2 -progress
 //	verify -protocol example1 -n 4 -r 2 -report out.jsonl -debug-addr :6060
+//
+// Spin-class capacity mode — lossy bitstate search with disk spilling and
+// kill-safe checkpoints (see README "Store selection"):
+//
+//	verify -protocol ring -n 10 -sigma 3 -r 2 -store bitstate -bits 28
+//	verify -protocol ring -n 12 -store bitstate -spill-mem 64000000 -spill-dir /tmp/sp
+//	verify -protocol ring -n 12 -store bitstate -checkpoint /tmp/ck
+//	verify -protocol ring -n 12 -store bitstate -checkpoint /tmp/ck -resume
 package main
 
 import (
@@ -37,12 +45,21 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	var (
-		name        = fs.String("protocol", "example1", "protocol: example1 | bgp-good | bgp-disagree | bgp-bad")
-		n           = fs.Int("n", 3, "clique size for example1")
+		name        = fs.String("protocol", "example1", "protocol: example1 | ring | copy-ring | bgp-good | bgp-disagree | bgp-bad")
+		n           = fs.Int("n", 3, "clique size for example1, ring size for ring/copy-ring")
+		sigma       = fs.Uint64("sigma", 2, "label alphabet size for ring/copy-ring")
 		r           = fs.Int("r", 2, "fairness parameter")
 		output      = fs.Bool("output", false, "check output stabilization instead of label stabilization")
 		limit       = fs.Int("limit", 1<<24, "state-space limit")
 		workers     = fs.Int("workers", 0, "exploration worker-pool size (0 = GOMAXPROCS)")
+		store       = fs.String("store", "auto", "visited-state store: auto | dense | hash | bitstate (lossy)")
+		bits        = fs.Int("bits", verify.DefaultBitstateBits, "bitstate: log2 bit capacity of the Bloom array")
+		bitstateK   = fs.Int("bitstate-k", verify.DefaultBitstateK, "bitstate: hash functions per state")
+		spillMem    = fs.Int64("spill-mem", 0, "bitstate: frontier memory budget in bytes before spilling to disk (0 = never)")
+		spillDir    = fs.String("spill-dir", "", "bitstate: directory for spilled frontier chunks")
+		checkpoint  = fs.String("checkpoint", "", "bitstate: write periodic atomic checkpoints to this directory")
+		ckInterval  = fs.Duration("checkpoint-interval", 30*time.Second, "gap between checkpoints")
+		resume      = fs.Bool("resume", false, "resume from the -checkpoint directory's manifest")
 		progress    = fs.Bool("progress", false, "print exploration progress to stderr")
 		interval    = fs.Duration("progress-interval", time.Second, "progress sampling period")
 		reportPath  = fs.String("report", "", "append a structured run report as one JSON line to this file")
@@ -63,6 +80,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch *name {
 	case "example1":
 		p, err = protocols.Example1Clique(*n)
+	case "ring":
+		p, err = protocols.SaturatingRing(*n, *sigma)
+	case "copy-ring":
+		p, err = protocols.CopyRing(*n, *sigma)
 	case "bgp-good":
 		p, err = bestresponse.GoodGadget().Protocol()
 	case "bgp-disagree":
@@ -103,18 +124,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"output":  strconv.FormatBool(*output),
 		"limit":   strconv.Itoa(*limit),
 		"workers": strconv.Itoa(*workers),
+		"store":   *store,
 	}
 
-	stable, err := verify.StablePerNodeLabelingsWorkers(p, x, *limit, *workers)
-	if err == nil {
-		fmt.Fprintf(stdout, "stable labelings (per-node-uniform): %d\n", len(stable))
-		if len(stable) >= 2 {
-			fmt.Fprintf(stdout, "⇒ Theorem 3.1: cannot be label %d-stabilizing\n", g.N()-1)
+	var storeKind verify.StoreKind
+	switch *store {
+	case "auto":
+		storeKind = verify.StoreAuto
+	case "dense":
+		storeKind = verify.StoreDense
+	case "hash":
+		storeKind = verify.StoreHash
+	case "bitstate":
+		storeKind = verify.StoreBitstate
+		rep.Options["bits"] = strconv.Itoa(*bits)
+		rep.Options["bitstate-k"] = strconv.Itoa(*bitstateK)
+	default:
+		return fmt.Errorf("unknown store %q", *store)
+	}
+
+	// The Theorem 3.1 pre-pass enumerates the full per-node labeling space;
+	// bitstate mode targets instances where exactly that is infeasible.
+	if storeKind != verify.StoreBitstate {
+		stable, err := verify.StablePerNodeLabelingsWorkers(p, x, *limit, *workers)
+		if err == nil {
+			fmt.Fprintf(stdout, "stable labelings (per-node-uniform): %d\n", len(stable))
+			if len(stable) >= 2 {
+				fmt.Fprintf(stdout, "⇒ Theorem 3.1: cannot be label %d-stabilizing\n", g.N()-1)
+			}
 		}
 	}
 
 	var dec verify.Decision
-	opts := verify.Options{Limit: *limit, Workers: *workers, Metrics: reg}
+	opts := verify.Options{
+		Limit:              *limit,
+		Workers:            *workers,
+		Metrics:            reg,
+		Store:              storeKind,
+		BitstateBits:       *bits,
+		BitstateK:          *bitstateK,
+		SpillMemBytes:      *spillMem,
+		SpillDir:           *spillDir,
+		CheckpointDir:      *checkpoint,
+		CheckpointInterval: *ckInterval,
+		Resume:             *resume,
+	}
 	if *progress {
 		opts.ProgressInterval = *interval
 		opts.Progress = func(pr verify.Progress) {
@@ -133,15 +187,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *output {
 		kind = "output"
 	}
-	fmt.Fprintf(stdout, "%s %d-stabilizing: %v (explored %d states)\n", kind, *r, dec.Stabilizing, dec.States)
+	switch {
+	case dec.Stabilizing && !dec.Exact:
+		// A lossy store can prune reachable states, so a clean sweep is
+		// "no violation found", never "verified" — Spin's bitstate caveat.
+		fmt.Fprintf(stdout, "%s %d-stabilization: no violation found (bitstate, k=%d, hash-factor %.1f) — explored %d states\n",
+			kind, *r, dec.BitstateK, dec.HashFactor, dec.States)
+	default:
+		fmt.Fprintf(stdout, "%s %d-stabilizing: %v (explored %d states)\n", kind, *r, dec.Stabilizing, dec.States)
+	}
 	if dec.Witness != nil {
 		fmt.Fprintln(stdout, "witness: a reachable oscillation exists between two configurations")
 	}
 
-	rep.Verdict = "stabilizing"
-	if !dec.Stabilizing {
+	switch {
+	case !dec.Stabilizing:
 		rep.Verdict = "not-stabilizing"
+	case !dec.Exact:
+		rep.Verdict = "no-violation"
+	default:
+		rep.Verdict = "stabilizing"
 	}
+	rep.Resumed = *resume
 	rep.States, rep.Quotient, rep.Witness = dec.States, dec.Quotient, dec.Witness != nil
 	rep.Metrics = reg.Snapshot()
 	rep.Finish(start)

@@ -382,13 +382,21 @@ func Hash(words []uint64) uint64 {
 // one arena slice; the open-addressing index maps hash slots to 1-based
 // state IDs. The zero Table is not usable; call NewTable.
 type Table struct {
-	w      int
-	arena  []uint64
-	slots  []int32 // 1-based state IDs; 0 = empty
-	mask   uint64
-	count  int
-	probes int64 // occupied-slot inspections beyond the home slot
+	w        int
+	arena    []uint64
+	slots    []int32 // 1-based state IDs; 0 = empty
+	mask     uint64
+	count    int
+	probes   int64 // occupied-slot inspections beyond the home slot
+	maxProbe int64 // longest single-operation probe chain observed
 }
+
+// probeLimit is the displacement bound that triggers an early rehash: an
+// insertion that walks more than probeLimit occupied slots doubles the
+// table even below the load-factor threshold, so probe chains stay bounded
+// when the hash clusters (the load-factor trigger alone lets a hot cluster
+// degrade every Intern that hashes into it).
+const probeLimit = 64
 
 // TableStats describes a table's occupancy and probe behaviour (see
 // Table.Stats).
@@ -404,6 +412,10 @@ type TableStats struct {
 	// load-factor health signal the observability layer reports as
 	// store/probes.
 	Probes int64
+	// MaxProbe is the longest probe chain any single Intern/Lookup walked.
+	// Growth keeps it at or below probeLimit plus the chain the triggering
+	// insertion itself walked.
+	MaxProbe int64
 }
 
 // Stats reports the table's occupancy and probe counters. The table is not
@@ -411,10 +423,11 @@ type TableStats struct {
 // Intern (the sharded store reads Stats under its shard locks).
 func (t *Table) Stats() TableStats {
 	return TableStats{
-		States: t.count,
-		Slots:  len(t.slots),
-		Bytes:  int64(len(t.arena))*8 + int64(len(t.slots))*4,
-		Probes: t.probes,
+		States:   t.count,
+		Slots:    len(t.slots),
+		Bytes:    int64(len(t.arena))*8 + int64(len(t.slots))*4,
+		Probes:   t.probes,
+		MaxProbe: t.maxProbe,
 	}
 }
 
@@ -453,15 +466,20 @@ func keysEqual(a, b []uint64) bool {
 // Lookup returns the ID of key if it is already interned, without inserting.
 func (t *Table) Lookup(key []uint64) (int, bool) {
 	h := Hash(key)
+	chain := int64(0)
 	for i := h & t.mask; ; i = (i + 1) & t.mask {
 		s := t.slots[i]
 		if s == 0 {
 			return 0, false
 		}
 		if keysEqual(t.At(int(s-1)), key) {
+			if chain > t.maxProbe {
+				t.maxProbe = chain
+			}
 			return int(s - 1), true
 		}
 		t.probes++
+		chain++
 	}
 }
 
@@ -469,7 +487,15 @@ func (t *Table) Lookup(key []uint64) (int, bool) {
 // return true). key must have exactly wordsPerKey words; the table copies
 // it into the arena, so callers can reuse the buffer.
 func (t *Table) Intern(key []uint64) (int, bool) {
-	h := Hash(key)
+	return t.InternHashed(key, Hash(key))
+}
+
+// InternHashed is Intern with the key's Hash precomputed by the caller.
+// Batch interners that already hashed every key for shard bucketing use it
+// to avoid hashing twice (the double hash was what made batched hash-store
+// interning slower than the single-key path).
+func (t *Table) InternHashed(key []uint64, h uint64) (int, bool) {
+	chain := int64(0)
 	for i := h & t.mask; ; i = (i + 1) & t.mask {
 		s := t.slots[i]
 		if s == 0 {
@@ -477,15 +503,22 @@ func (t *Table) Intern(key []uint64) (int, bool) {
 			t.arena = append(t.arena, key...)
 			t.slots[i] = int32(id + 1)
 			t.count++
-			if uint64(t.count)*4 > 3*(t.mask+1) {
+			if chain > t.maxProbe {
+				t.maxProbe = chain
+			}
+			if uint64(t.count)*4 > 3*(t.mask+1) || chain > probeLimit {
 				t.rehash()
 			}
 			return id, true
 		}
 		if keysEqual(t.At(int(s-1)), key) {
+			if chain > t.maxProbe {
+				t.maxProbe = chain
+			}
 			return int(s - 1), false
 		}
 		t.probes++
+		chain++
 	}
 }
 

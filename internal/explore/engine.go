@@ -155,6 +155,35 @@ type Config struct {
 	Progress func(Progress)
 	// ProgressInterval is the sampling period (≤ 0 means 1s).
 	ProgressInterval time.Duration
+	// FrontierMemBytes caps the in-memory frontier in keys mode (lossy
+	// store): once the push-side buffer exceeds half the budget it is
+	// flushed to a sequential chunk file in SpillDir and streamed back in
+	// depth order when the pop side drains. ≤ 0 disables spilling. Ignored
+	// by exact stores, whose frontier holds 4-byte IDs and does not spill.
+	FrontierMemBytes int64
+	// SpillDir is where frontier chunks live. Required when
+	// FrontierMemBytes > 0; defaults to CheckpointDir when checkpointing.
+	SpillDir string
+	// CheckpointDir enables periodic checkpoints of a keys-mode run:
+	// visited bit array + pending frontier + counters, committed by an
+	// atomic manifest rename, so a killed run resumes (Resume) to the
+	// identical verdict. Requires a lossy (bitstate) store.
+	CheckpointDir string
+	// CheckpointInterval is the time between checkpoints (≤ 0 means 30s).
+	CheckpointInterval time.Duration
+	// CheckpointTag fingerprints the run configuration; Resume refuses a
+	// manifest written under a different tag.
+	CheckpointTag string
+	// CheckpointExtra, when non-nil, contributes an opaque payload to each
+	// manifest (verify stores its best violation witness). Called at the
+	// checkpoint barrier, never concurrently with RestoreExtra.
+	CheckpointExtra func() []byte
+	// RestoreExtra, when non-nil, receives the manifest's Extra payload
+	// during Resume, before workers start.
+	RestoreExtra func([]byte) error
+	// Resume restores store and frontier from CheckpointDir's manifest
+	// instead of seeding, then continues the run.
+	Resume bool
 	// Metrics, when non-nil, receives the engine's telemetry: per-depth
 	// discovery counts (explore/frontier_by_depth), the batch fill
 	// histogram (explore/batch_fill), sampled per-stage timers
@@ -196,23 +225,49 @@ const popBlockSize = 64
 // time.Now calls per 64 states.
 const clockSampleEvery = 64
 
-// run is the engine's shared mutable state.
+// frontierStats is the read side shared by the exact-mode ID queue and
+// the keys-mode spillable queue (metrics and progress snapshots).
+type frontierStats interface {
+	depth() int
+	maxDepth() int
+	depthCountsCopy() []int64
+}
+
+// run is the engine's shared mutable state. Exactly one of queue (exact
+// mode: the frontier holds store IDs) and kq (keys mode: the store is
+// lossy, so the frontier carries the packed keys themselves and may spill
+// to disk) is non-nil.
 type run struct {
 	cfg      Config
-	queue    *workQueue
+	queue    *workQueue // exact mode
+	kq       *keyQueue  // keys mode
+	front    frontierStats
 	total    atomic.Int64 // distinct states interned
 	expanded atomic.Int64 // states fully expanded
 	start    time.Time
 	fill     *obs.Histogram // nil when no registry
+
+	// checkpoint telemetry (keys mode with CheckpointDir)
+	checkpoints     atomic.Int64
+	checkpointBytes atomic.Int64
 }
 
 // Run drives a parallel BFS to its fixed point: seed states and every key
 // emitted during expansion are interned exactly once, and every fresh state
-// is expanded exactly once. The visited set — and therefore the verdict of
-// any analysis over it — is independent of worker count, scheduling, and
-// batch granularity.
+// is expanded exactly once. With an exact store the visited set — and
+// therefore the verdict of any analysis over it — is independent of worker
+// count, scheduling, and batch granularity; with a lossy (bitstate) store
+// the admitted set can additionally depend on hash collisions, so it is a
+// sound under-approximation (never invents states) rather than exact.
 func Run(cfg Config) error {
+	if cfg.Store.Lossy() {
+		return runKeys(cfg)
+	}
+	if cfg.CheckpointDir != "" || cfg.Resume {
+		return fmt.Errorf("explore: checkpoint/resume requires a lossy (bitstate) store")
+	}
 	r := &run{cfg: cfg, queue: newWorkQueue(), start: time.Now()}
+	r.front = r.queue
 	r.registerMetrics()
 	if cfg.Progress != nil {
 		stop := make(chan struct{})
@@ -243,6 +298,107 @@ func Run(cfg Config) error {
 	return r.queue.failure()
 }
 
+// runKeys is Run for lossy stores: the frontier carries packed keys
+// (states are not recoverable from the store), spills to disk past the
+// memory budget, and periodically checkpoints when configured.
+func runKeys(cfg Config) error {
+	dir := cfg.SpillDir
+	if cfg.CheckpointDir != "" {
+		if dir != "" && dir != cfg.CheckpointDir {
+			return fmt.Errorf("explore: with checkpointing, spill dir must be the checkpoint dir (got %q and %q)", dir, cfg.CheckpointDir)
+		}
+		dir = cfg.CheckpointDir
+	}
+	kq, err := newKeyQueue(cfg.Store.Words(), cfg.FrontierMemBytes, dir)
+	if err != nil {
+		return err
+	}
+	r := &run{cfg: cfg, kq: kq, start: time.Now()}
+	r.front = kq
+	defer kq.cleanup()
+	r.registerMetrics()
+	if cfg.Progress != nil {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go r.sampleProgress(stop, done)
+		defer func() {
+			close(stop)
+			<-done
+			cfg.Progress(r.snapshot()) // final totals
+		}()
+	}
+	if err := r.canceled(); err != nil {
+		return err
+	}
+	if cfg.Resume {
+		if err := r.restoreFromCheckpoint(); err != nil {
+			return err
+		}
+	} else if err := cfg.Seed(r.emitKey); err != nil {
+		return err
+	}
+	var ckStop, ckDone chan struct{}
+	if cfg.CheckpointDir != "" {
+		ckStop = make(chan struct{})
+		ckDone = make(chan struct{})
+		go r.checkpointLoop(ckStop, ckDone)
+	}
+	workers := par.Workers(cfg.Workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go r.workerKeys(w, &wg)
+	}
+	wg.Wait()
+	if ckStop != nil {
+		close(ckStop)
+		<-ckDone
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Series(MetricFrontierByDepth).SetFrom(kq.depthCountsCopy())
+	}
+	return kq.failure()
+}
+
+// checkpointLoop writes a checkpoint every CheckpointInterval until the
+// run completes. Checkpoint failures fail the run: a verdict that silently
+// lost its resumability guarantee is worse than an early error.
+func (r *run) checkpointLoop(stop, done chan struct{}) {
+	defer close(done)
+	interval := r.cfg.CheckpointInterval
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	// A reset timer, not a ticker: the interval runs from the end of one
+	// checkpoint to the start of the next. A ticker would keep a tick
+	// pending whenever a write outlasts the interval, re-pausing the queue
+	// the instant it unpauses and starving the workers (livelock).
+	t := time.NewTimer(interval)
+	defer t.Stop()
+	var clk *obs.Clock
+	if m := r.cfg.Metrics; m != nil {
+		clk = obs.NewClock(m.Timer(MetricCheckpointNs), 1)
+		defer clk.Flush()
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			clk.Start()
+			n, err := r.writeCheckpoint()
+			clk.Stop()
+			if err != nil {
+				r.kq.fail(fmt.Errorf("explore: checkpoint: %w", err))
+				return
+			}
+			r.checkpoints.Add(1)
+			r.checkpointBytes.Store(n)
+			t.Reset(interval)
+		}
+	}
+}
+
 // registerMetrics wires the engine's pull gauges and hot-path instruments
 // into the run's registry (no-op without one).
 func (r *run) registerMetrics() {
@@ -252,10 +408,20 @@ func (r *run) registerMetrics() {
 	}
 	m.Func(MetricStates, r.total.Load)
 	m.Func(MetricExpanded, r.expanded.Load)
-	m.Func(MetricFrontier, func() int64 { return int64(r.queue.depth()) })
-	m.Func(MetricDepth, func() int64 { return int64(r.queue.maxDepth()) })
+	m.Func(MetricFrontier, func() int64 { return int64(r.front.depth()) })
+	m.Func(MetricDepth, func() int64 { return int64(r.front.maxDepth()) })
 	r.fill = m.Histogram(MetricBatchFill, 0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 	registerStoreMetrics(m, r.cfg.Store)
+	if kq := r.kq; kq != nil {
+		m.Func(MetricFrontierMemBytes, kq.memBytes)
+		m.Func(MetricSpillChunks, func() int64 { c, _, _ := kq.spillStats(); return c })
+		m.Func(MetricSpillBytes, func() int64 { _, b, _ := kq.spillStats(); return b })
+		m.Func(MetricSpillLoads, func() int64 { _, _, l := kq.spillStats(); return l })
+		if r.cfg.CheckpointDir != "" {
+			m.Func(MetricCheckpoints, r.checkpoints.Load)
+			m.Func(MetricCheckpointBytes, r.checkpointBytes.Load)
+		}
+	}
 }
 
 // canceled maps the context state to the engine's cancellation error.
@@ -281,6 +447,24 @@ func (r *run) emit(key []uint64) (int32, bool, error) {
 			return 0, false, fmt.Errorf("%w: > %d states", ErrLimit, r.cfg.Limit)
 		}
 		r.queue.push(id, 0)
+	}
+	return id, fresh, nil
+}
+
+// emitKey is the keys-mode seeding path: fresh keys enter the frontier as
+// packed keys at depth 0 (IDs from a lossy store carry no identity).
+func (r *run) emitKey(key []uint64) (int32, bool, error) {
+	id, fresh, err := r.cfg.Store.Intern(key)
+	if err != nil {
+		return 0, false, err
+	}
+	if fresh {
+		if total := int(r.total.Add(1)); r.cfg.Limit > 0 && total > r.cfg.Limit {
+			return 0, false, fmt.Errorf("%w: > %d states", ErrLimit, r.cfg.Limit)
+		}
+		if err := r.kq.push(key, 0); err != nil {
+			return 0, false, err
+		}
 	}
 	return id, fresh, nil
 }
@@ -354,6 +538,113 @@ func (r *run) worker(w int, wg *sync.WaitGroup) {
 	}
 }
 
+// workerKeys is the keys-mode expansion loop: claim a block of (depth,
+// key) entries, expand each key, intern the successors into the lossy
+// store, and enqueue the fresh successors' keys. Expanders see id 0 for
+// every state — lossy stores have no usable IDs.
+func (r *run) workerKeys(w int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ex := r.cfg.NewExpander(w)
+	wpk := r.cfg.Store.Words()
+	batch := NewBatch(wpk)
+	keys := make([]uint64, keyPopBlock*wpk)
+	var (
+		depths                          [keyPopBlock]int32
+		clkExpand, clkIntern, clkAbsorb *obs.Clock
+		clkIdle                         *obs.Clock
+	)
+	if m := r.cfg.Metrics; m != nil {
+		clkExpand = obs.NewClock(m.Timer(MetricExpandNs), clockSampleEvery)
+		clkIntern = obs.NewClock(m.Timer(MetricInternNs), clockSampleEvery)
+		clkAbsorb = obs.NewClock(m.Timer(MetricAbsorbNs), clockSampleEvery)
+		clkIdle = obs.NewClock(m.Timer(MetricIdleNs), 1)
+		defer func() {
+			clkExpand.Flush()
+			clkIntern.Flush()
+			clkAbsorb.Flush()
+			clkIdle.Flush()
+		}()
+	}
+	for {
+		clkIdle.Start()
+		n := r.kq.popBlock(keys, depths[:])
+		clkIdle.Stop()
+		if n == 0 {
+			return
+		}
+		if err := r.canceled(); err != nil {
+			r.expanded.Add(int64(n))
+			r.kq.doneN(n)
+			r.kq.fail(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			key := keys[i*wpk : (i+1)*wpk]
+			batch.Reset()
+			clkExpand.Start()
+			err := ex.Expand(0, key, batch)
+			clkExpand.Stop()
+			r.fill.Observe(int64(batch.Len()))
+			if err == nil {
+				clkIntern.Start()
+				err = r.internBatchKeys(batch, depths[i]+1)
+				clkIntern.Stop()
+			}
+			if err == nil {
+				clkAbsorb.Start()
+				err = ex.Absorb(0, batch)
+				clkAbsorb.Stop()
+			}
+			if err != nil {
+				r.expanded.Add(int64(n))
+				r.kq.doneN(n)
+				r.kq.fail(err)
+				return
+			}
+		}
+		r.expanded.Add(int64(n))
+		r.kq.doneN(n)
+	}
+}
+
+// internBatchKeys is internBatch for keys mode: fresh successors are
+// enqueued by key rather than by ID.
+func (r *run) internBatchKeys(b *Batch, d int32) error {
+	count := b.Len()
+	if cap(b.IDs) < count {
+		b.IDs = make([]int32, count)
+		b.Fresh = make([]bool, count)
+	}
+	b.IDs = b.IDs[:count]
+	b.Fresh = b.Fresh[:count]
+	step := r.cfg.MaxBatch
+	if step <= 0 {
+		step = count
+	}
+	for from := 0; from < count; from += step {
+		to := min(from+step, count)
+		if err := r.cfg.Store.InternBatch(b.keys[from*b.wpk:to*b.wpk], b.IDs[from:to], b.Fresh[from:to]); err != nil {
+			return err
+		}
+		freshCount := 0
+		for i := from; i < to; i++ {
+			if b.Fresh[i] {
+				freshCount++
+			}
+		}
+		if freshCount == 0 {
+			continue
+		}
+		if total := int(r.total.Add(int64(freshCount))); r.cfg.Limit > 0 && total > r.cfg.Limit {
+			return fmt.Errorf("%w: > %d states", ErrLimit, r.cfg.Limit)
+		}
+		if err := r.kq.pushFresh(b.keys[from*b.wpk:to*b.wpk], b.Fresh[from:to], d, freshCount); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // internBatch interns the batch's keys (in MaxBatch-sized chunks), filling
 // IDs/Fresh, charging fresh states against the limit, and enqueueing them
 // at discovery depth d.
@@ -396,15 +687,15 @@ func (r *run) snapshot() Progress {
 	p := Progress{
 		States:   r.total.Load(),
 		Expanded: r.expanded.Load(),
-		Frontier: r.queue.depth(),
-		Depth:    r.queue.maxDepth(),
+		Frontier: r.front.depth(),
+		Depth:    r.front.maxDepth(),
 		Elapsed:  time.Since(r.start),
 	}
 	if s := p.Elapsed.Seconds(); s > 0 {
 		p.StatesPerSec = float64(p.States) / s
 	}
 	if m := r.cfg.Metrics; m != nil {
-		m.Series(MetricFrontierByDepth).SetFrom(r.queue.depthCountsCopy())
+		m.Series(MetricFrontierByDepth).SetFrom(r.front.depthCountsCopy())
 		p.Metrics = m.Snapshot()
 	}
 	return p

@@ -50,7 +50,7 @@ var ErrLimit = errors.New("explore: state limit exceeded")
 // are cheap to read; Stats is called only when a metrics snapshot is taken
 // (internal/obs pull gauges), never on the intern hot path.
 type StoreStats struct {
-	// Kind is "dense" or "hash".
+	// Kind is "dense", "hash" or "bitstate".
 	Kind string
 	// States is the number of interned states.
 	States int64
@@ -67,6 +67,11 @@ type StoreStats struct {
 	// Collisions counts interning retries: CAS retries for the dense
 	// bitset, occupied-slot probe steps for the hash store.
 	Collisions int64
+	// MaxProbe is the longest probe chain any single hash-store operation
+	// walked (0 for stores that do not probe). Shard growth keeps it
+	// bounded; a growing MaxProbe at moderate occupancy means the hash is
+	// clustering.
+	MaxProbe int64
 }
 
 // Occupancy returns States/Capacity in [0, 1] (0 when capacity unknown).
@@ -113,6 +118,13 @@ type Store interface {
 	// Stats reports the store's current occupancy and probe statistics.
 	// Safe for concurrent use with Intern; called from metrics snapshots.
 	Stats() StoreStats
+	// Lossy reports whether the store is an approximate visited set (the
+	// bitstate/Bloom store): fresh=false answers may be hash collisions and
+	// interned states are not recoverable, so Read, Rank and WordsAt are
+	// unavailable. The engine runs lossy stores with a packed-key frontier
+	// (the state travels in the queue instead of being read back by ID) and
+	// analyses over the explored graph are downgraded to on-the-fly checks.
+	Lossy() bool
 }
 
 // Store metric names (see registerStoreMetrics / Config.Metrics).
@@ -123,6 +135,7 @@ const (
 	MetricStoreBytes        = "store/bytes"
 	MetricStoreProbes       = "store/probes"
 	MetricStoreCollisions   = "store/collisions"
+	MetricStoreMaxProbe     = "store/max_probe"
 )
 
 // registerStoreMetrics exposes a store's Stats as pull gauges. Occupancy
@@ -135,6 +148,11 @@ func registerStoreMetrics(m *obs.Registry, s Store) {
 	m.Func(MetricStoreBytes, func() int64 { return s.Stats().Bytes })
 	m.Func(MetricStoreProbes, func() int64 { return s.Stats().Probes })
 	m.Func(MetricStoreCollisions, func() int64 { return s.Stats().Collisions })
+	m.Func(MetricStoreMaxProbe, func() int64 { return s.Stats().MaxProbe })
+	if bs, ok := s.(*Bitstate); ok {
+		m.Func(MetricStoreSetBits, func() int64 { return bs.SetBits() })
+		m.Func(MetricStoreSaturationPPM, func() int64 { return bs.SaturationPPM() })
+	}
 }
 
 // NewStore picks a store for the codec: dense direct-indexed when the
@@ -177,6 +195,9 @@ func NewDense(width int) *Dense {
 
 // Words returns 1: dense keys are single-word by construction.
 func (d *Dense) Words() int { return 1 }
+
+// Lossy returns false: the dense store is exact.
+func (d *Dense) Lossy() bool { return false }
 
 // Intern marks key visited. The ID is the packed value itself.
 func (d *Dense) Intern(key []uint64) (int32, bool, error) {
@@ -294,16 +315,18 @@ const shardBits = 6
 
 const maxLocalID = (1 << (31 - shardBits)) - 1
 
+// hashShard is one dedup table of the sharded-hash store.
+type hashShard struct {
+	mu  sync.Mutex
+	tab *enc.Table
+}
+
 // Hash is the sharded-hash store: 2^shardBits mutex-protected enc.Tables.
 // IDs encode (local index << shardBits) | shard.
 type Hash struct {
 	wpk    int
-	shards [1 << shardBits]struct {
-		mu  sync.Mutex
-		tab *enc.Table
-	}
-	base    []int32
-	scratch sync.Pool // *hashBatchScratch for InternBatch shard bucketing
+	shards [1 << shardBits]hashShard
+	base   []int32
 }
 
 // NewHash returns a hash store for keys of wordsPerKey words.
@@ -312,12 +335,14 @@ func NewHash(wordsPerKey int) *Hash {
 	for i := range h.shards {
 		h.shards[i].tab = enc.NewTable(wordsPerKey, 64)
 	}
-	h.scratch.New = func() any { return &hashBatchScratch{} }
 	return h
 }
 
 // Words returns the key width.
 func (h *Hash) Words() int { return h.wpk }
+
+// Lossy returns false: the hash store is exact.
+func (h *Hash) Lossy() bool { return false }
 
 // Intern adds key to its ownership shard.
 func (h *Hash) Intern(key []uint64) (int32, bool, error) {
@@ -336,52 +361,46 @@ func (h *Hash) Intern(key []uint64) (int32, bool, error) {
 	return int32(local)<<shardBits | int32(owner), fresh, nil
 }
 
-// hashBatchScratch is the per-InternBatch bucketing scratch: the key
-// indices owned by each shard, so every shard lock is taken at most once
-// per batch.
-type hashBatchScratch struct {
-	byShard [1 << shardBits][]int32
-	touched []int32
-}
-
-// InternBatch buckets the block's keys by ownership shard, then interns
-// each shard's keys under one lock acquisition. IDs and freshness match
-// what per-key Intern calls would produce (in-batch duplicates land in the
-// same shard, so the first occurrence is the fresh one).
+// InternBatch interns len(ids) keys stored back to back in block, in one
+// fused pass: each key hashes once (the hash is passed through to the
+// shard table — hashing twice was the regression that made batched
+// interning slower than per-key Intern calls), and the shard lock is
+// carried across consecutive keys landing in the same shard. A bucketing
+// pre-pass (group key indices by shard, lock each shard exactly once)
+// measures slower at engine batch sizes: with ≤64 successors scattered
+// over 2^shardBits shards nearly every bucket is a singleton, so
+// pre-bucketing saves almost no lock acquisitions and pays for a second
+// sweep over the keys' cache lines. IDs and freshness match what per-key
+// Intern calls would produce.
 func (h *Hash) InternBatch(block []uint64, ids []int32, fresh []bool) error {
-	sc := h.scratch.Get().(*hashBatchScratch)
-	sc.touched = sc.touched[:0]
+	var (
+		err   error
+		owner int32 = -1
+		s     *hashShard
+	)
 	for i := range ids {
 		key := block[i*h.wpk : (i+1)*h.wpk]
-		owner := int32(enc.Hash(key) >> (64 - shardBits))
-		if len(sc.byShard[owner]) == 0 {
-			sc.touched = append(sc.touched, owner)
-		}
-		sc.byShard[owner] = append(sc.byShard[owner], int32(i))
-	}
-	var err error
-	for _, owner := range sc.touched {
-		s := &h.shards[owner]
-		s.mu.Lock()
-		for _, i := range sc.byShard[owner] {
-			key := block[int(i)*h.wpk : (int(i)+1)*h.wpk]
-			local, fr := s.tab.Intern(key)
-			if local > maxLocalID {
-				err = fmt.Errorf("%w: shard overflow", ErrLimit)
-				break
+		hv := enc.Hash(key)
+		o := int32(hv >> (64 - shardBits))
+		if o != owner {
+			if s != nil {
+				s.mu.Unlock()
 			}
-			ids[i] = int32(local)<<shardBits | owner
-			fresh[i] = fr
+			s = &h.shards[o]
+			s.mu.Lock()
+			owner = o
 		}
-		s.mu.Unlock()
-		if err != nil {
+		local, fr := s.tab.InternHashed(key, hv)
+		if local > maxLocalID {
+			err = fmt.Errorf("%w: shard overflow", ErrLimit)
 			break
 		}
+		ids[i] = int32(local)<<shardBits | o
+		fresh[i] = fr
 	}
-	for _, owner := range sc.touched {
-		sc.byShard[owner] = sc.byShard[owner][:0]
+	if s != nil {
+		s.mu.Unlock()
 	}
-	h.scratch.Put(sc)
 	return err
 }
 
@@ -442,6 +461,9 @@ func (h *Hash) Stats() StoreStats {
 		st.Bytes += ts.Bytes
 		st.Probes += ts.Probes
 		st.Collisions += ts.Probes // every extra probe step is a collision
+		if ts.MaxProbe > st.MaxProbe {
+			st.MaxProbe = ts.MaxProbe
+		}
 	}
 	return st
 }

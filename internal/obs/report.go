@@ -63,6 +63,9 @@ type Report struct {
 	States   int  `json:"states,omitempty"`
 	Quotient int  `json:"quotient,omitempty"`
 	Witness  bool `json:"witness,omitempty"`
+	// Resumed reports that the run was restored from a checkpoint manifest
+	// instead of starting from the seed set.
+	Resumed bool `json:"resumed,omitempty"`
 	// StartUnixNs is the run's start time. WallNs/CPUNs/PeakRSSBytes are
 	// filled by Finish; all four are zeroed by Scrub.
 	StartUnixNs  int64 `json:"start_unix_ns,omitempty"`

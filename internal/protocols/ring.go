@@ -1,0 +1,62 @@
+package protocols
+
+import (
+	"errors"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// SaturatingRing is the node-uniform saturating counter on the
+// unidirectional n-ring over Σ = {0..sigma-1}: every node forwards
+// min(in+1, sigma−1) and outputs that value's parity. The protocol is
+// label r-stabilizing for every r (all labels saturate at sigma−1), and —
+// being node-uniform with a rotation-symmetric topology — it admits the
+// ring's full rotation quotient, which makes it the standard workload for
+// comparing store backends and symmetry settings (bench: "ring/...").
+// Packed state width is n·⌈log2 sigma⌉ + countdown bits, so growing n
+// drives the exact stores out of their budgets long before the state
+// space becomes interesting — exactly the regime the bitstate store is
+// for.
+func SaturatingRing(n int, sigma uint64) (*core.Protocol, error) {
+	if n < 2 {
+		return nil, errors.New("protocols: ring needs n ≥ 2")
+	}
+	if sigma < 2 {
+		return nil, errors.New("protocols: need sigma ≥ 2")
+	}
+	top := core.Label(sigma - 1)
+	return core.NewUniformProtocol(graph.Ring(n), core.MustLabelSpace(sigma),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			v := in[0]
+			if v < top {
+				v++
+			}
+			out[0] = v
+			return core.Bit(v & 1)
+		})
+}
+
+// CopyRing is the node-uniform identity relay on the unidirectional
+// n-ring over Σ = {0..sigma-1}: every node forwards its input label
+// unchanged (output = label parity). Any non-uniform labeling rotates
+// around the ring forever under the synchronous schedule, so the protocol
+// is not label r-stabilizing for any r — and the oscillation is exactly a
+// rotation of the labeling, which under the ring's rotation quotient is a
+// section-changing self-loop on the canonical state. That makes CopyRing
+// the canonical violating instance detectable by the bitstate store's
+// on-the-fly check (which sees only quotient self-loops), and the oracle
+// for bitstate-vs-exact verdict equivalence tests.
+func CopyRing(n int, sigma uint64) (*core.Protocol, error) {
+	if n < 2 {
+		return nil, errors.New("protocols: ring needs n ≥ 2")
+	}
+	if sigma < 2 {
+		return nil, errors.New("protocols: need sigma ≥ 2")
+	}
+	return core.NewUniformProtocol(graph.Ring(n), core.MustLabelSpace(sigma),
+		func(in []core.Label, _ core.Bit, out []core.Label) core.Bit {
+			out[0] = in[0]
+			return core.Bit(in[0] & 1)
+		})
+}

@@ -26,6 +26,7 @@ package verify
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -71,6 +72,24 @@ const (
 	StoreDense
 	// StoreHash forces the sharded-hash store.
 	StoreHash
+	// StoreBitstate uses the lossy bitstate/Bloom visited set (Spin's
+	// -bitstate): fixed memory, hash collisions may silently drop states.
+	// A "stabilizing" answer is downgraded to "no violation found"
+	// (Decision.Exact = false); a violation witness remains exact. Only
+	// rotation-class oscillations (quotient self-loops under symmetry) are
+	// detectable on the fly — bitstate mode keeps no edge log, so the SCC
+	// analysis that exact mode runs is unavailable.
+	StoreBitstate
+)
+
+// Bitstate defaults (see Options.BitstateBits / Options.BitstateK).
+const (
+	// DefaultBitstateBits is the default log2 bit-array size: 2^27 bits =
+	// 16 MiB, a hash factor of ~100 at 1.3M admitted states.
+	DefaultBitstateBits = 27
+	// DefaultBitstateK is the default number of hash functions per state
+	// (Spin's default of 3 bits per state).
+	DefaultBitstateK = 3
 )
 
 // SymmetryMode selects symmetry quotienting.
@@ -103,6 +122,32 @@ type Options struct {
 	// Quotienting changes Decision.States (orbit representatives instead
 	// of raw states) but never the verdict.
 	Symmetry SymmetryMode
+	// BitstateBits is the log2 bit capacity of the bitstate store (0 means
+	// DefaultBitstateBits). Only meaningful with StoreBitstate.
+	BitstateBits int
+	// BitstateK is the bitstate store's hash-function count (0 means
+	// DefaultBitstateK). Only meaningful with StoreBitstate.
+	BitstateK int
+	// SpillMemBytes caps the in-memory frontier of a bitstate run: past
+	// the budget, frontier chunks spill to SpillDir and stream back in
+	// depth order. ≤ 0 disables spilling. Exact stores never spill.
+	SpillMemBytes int64
+	// SpillDir is where frontier chunks live (required when SpillMemBytes
+	// > 0 unless CheckpointDir is set, which then hosts the chunks).
+	SpillDir string
+	// CheckpointDir enables periodic atomic checkpoints of a bitstate run
+	// (visited bit array + pending frontier + counters + best witness), so
+	// a killed run resumes with Resume to the identical verdict.
+	CheckpointDir string
+	// CheckpointInterval is the time between checkpoints (≤ 0 means 30s).
+	CheckpointInterval time.Duration
+	// CheckpointTag is a caller-supplied configuration fingerprint (e.g.
+	// "protocol=ring,n=8"). Resume refuses a checkpoint whose tag — or
+	// store geometry — differs from the current run's.
+	CheckpointTag string
+	// Resume restores the run from CheckpointDir's manifest instead of
+	// seeding, then continues to the verdict.
+	Resume bool
 	// Context, when non-nil, cancels the exploration: workers check it once
 	// per expanded batch, and a canceled check returns an
 	// ErrCanceled-wrapped error. nil means never canceled.
@@ -177,6 +222,18 @@ type Decision struct {
 	Quotient int
 	// Witness is non-nil iff !Stabilizing.
 	Witness *Witness
+	// Exact reports whether the verdict is exact. Exact-store runs are
+	// always exact. Bitstate runs are exact only when a violation was
+	// found (the witness is a concrete transition, re-checkable against
+	// the step relation); a bitstate Stabilizing=true means "no violation
+	// found" — hash collisions may have pruned reachable states.
+	Exact bool
+	// BitstateK is the bitstate run's hash-function count (0 when exact).
+	BitstateK int
+	// HashFactor is the bitstate run's bit capacity divided by admitted
+	// states — Spin's trustworthiness diagnostic (aim for > 100). 0 when
+	// exact.
+	HashFactor float64
 }
 
 // EnumerateLabelings calls fn for every labeling in Σ^E, in odometer order.
@@ -287,6 +344,16 @@ type explorer struct {
 	// expanders[w] is worker w's expander; its edge buffer is merged after
 	// the engine joins its workers.
 	expanders []*expander
+
+	// Bitstate-mode violation record: the canonically smallest quotient
+	// self-loop with a section change, found on the fly (bitstate keeps no
+	// edge log to analyse afterwards). vioA/vioB are the packed source
+	// state and its raw successor; both are exact reachable states, so the
+	// witness extracted from them is exact even though the store is lossy.
+	vioMu   sync.Mutex
+	vioHave bool
+	vioA    []uint64
+	vioB    []uint64
 }
 
 func newExplorer(p *core.Protocol, x core.Input, r int, trackOutputs bool, opts Options, limit int) (*explorer, error) {
@@ -304,8 +371,21 @@ func newExplorer(p *core.Protocol, x core.Input, r int, trackOutputs bool, opts 
 		store = explore.NewDense(codec.Bits())
 	case StoreHash:
 		store = explore.NewHash(codec.Words())
+	case StoreBitstate:
+		logBits := opts.BitstateBits
+		if logBits <= 0 {
+			logBits = DefaultBitstateBits
+		}
+		k := opts.BitstateK
+		if k <= 0 {
+			k = DefaultBitstateK
+		}
+		store = explore.NewBitstate(codec.Words(), logBits, k)
 	default:
 		return nil, fmt.Errorf("verify: unknown store kind %d", opts.Store)
+	}
+	if (opts.CheckpointDir != "" || opts.Resume) && !store.Lossy() {
+		return nil, errors.New("verify: checkpoint/resume requires the bitstate store")
 	}
 	var sym *explore.Symmetry
 	switch opts.Symmetry {
@@ -357,6 +437,8 @@ type expander struct {
 	changed []bool  // per-successor section-change flags (vs the raw block)
 	keepRaw bool    // witness pass: retain the pre-canonical block in raw
 	raw     []uint64
+	lossy   bool     // bitstate mode: no edge log, on-the-fly self-loop check
+	src     []uint64 // lossy mode: the expanded source state (for Absorb)
 	// edges is the worker's transition log, stored in fixed-size chunks so
 	// growth never copies: the states-graph has tens of edges per state,
 	// and reallocation memmove was a visible slice of the profile.
@@ -404,6 +486,13 @@ func (e *explorer) newExpander() *expander {
 	}
 	if e.sym != nil {
 		ex.canon = e.sym.NewCanon()
+	}
+	if e.store.Lossy() {
+		ex.lossy = true
+		// The self-loop check needs the raw successor block and the source
+		// state; without symmetry no violation is detectable (a raw
+		// self-loop cannot change the section), so skip the copies.
+		ex.keepRaw = ex.canon != nil
 	}
 	if m := e.opts.Metrics; m != nil {
 		ex.clkStep = obs.NewClock(m.Timer(MetricStepNs), stageSampleEvery)
@@ -645,6 +734,9 @@ func (ex *expander) finish(words []uint64, b *explore.Batch, block []uint64, cou
 	if ex.keepRaw {
 		ex.raw = append(ex.raw[:0], block...)
 	}
+	if ex.lossy && ex.keepRaw {
+		ex.src = append(ex.src[:0], words...)
+	}
 	if ex.canon != nil {
 		ex.clkCanon.Start()
 		ex.canon.CanonicalizeBatch(block, count)
@@ -656,9 +748,13 @@ func (ex *expander) finish(words []uint64, b *explore.Batch, block []uint64, cou
 const edgeChunk = 1 << 16
 
 // Absorb records one transition per successor once the engine has interned
-// the batch and filled in the store IDs.
+// the batch and filled in the store IDs. In bitstate mode there is no edge
+// log; instead Absorb runs the on-the-fly violation check.
 func (ex *expander) Absorb(id int32, b *explore.Batch) error {
 	ex.edgeCount.Add(int64(len(b.IDs)))
+	if ex.lossy {
+		return ex.absorbLossy(b)
+	}
 	if len(ex.edges) == 0 {
 		ex.edges = append(ex.edges, make([]stateEdge, 0, edgeChunk))
 	}
@@ -672,6 +768,102 @@ func (ex *expander) Absorb(id int32, b *explore.Batch) error {
 		cur = append(cur, stateEdge{src: id, dst: dst, changed: ex.changed[i]})
 	}
 	ex.edges[len(ex.edges)-1] = cur
+	return nil
+}
+
+// absorbLossy is the bitstate-mode violation check: a successor whose
+// canonical key equals the (canonical) source state is a quotient
+// self-loop, and if the compared section changed along the raw transition
+// it proves a genuine oscillation (the raw cycle rotates the section
+// around the ring forever; see the violation criterion at stabilization).
+// This is the only cycle shape detectable without the edge log, so a
+// bitstate run can miss longer oscillations — which is why its clean
+// verdict is "no violation found", not "stabilizing". Without symmetry
+// there is nothing to check: a raw self-loop cannot change the section.
+func (ex *expander) absorbLossy(b *explore.Batch) error {
+	if ex.canon == nil {
+		return nil
+	}
+	wpk := b.WordsPerKey()
+	for i := 0; i < b.Len(); i++ {
+		if !ex.changed[i] {
+			continue
+		}
+		if !wordsEqual(b.Key(i), ex.src) {
+			continue
+		}
+		ex.e.recordViolation(ex.src, ex.raw[i*wpk:(i+1)*wpk])
+	}
+	return nil
+}
+
+// wordsEqual compares two packed states.
+func wordsEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recordViolation keeps the canonically smallest violation pair (same
+// ordering as the exact witness pass), so the reported witness does not
+// depend on which worker found it first.
+func (e *explorer) recordViolation(src, raw []uint64) {
+	compare := e.codec.CompareLabels
+	if e.trackOutputs {
+		compare = e.codec.CompareOutputs
+	}
+	a, b := src, raw
+	if compare(b, a) < 0 {
+		a, b = b, a
+	}
+	e.vioMu.Lock()
+	defer e.vioMu.Unlock()
+	if e.vioHave && !less2(compare, a, b, e.vioA, e.vioB) {
+		return
+	}
+	e.vioA = append(e.vioA[:0], a...)
+	e.vioB = append(e.vioB[:0], b...)
+	e.vioHave = true
+}
+
+// checkpointExtra serializes the violation record into the checkpoint
+// manifest, so a witness found before a kill survives the resume.
+func (e *explorer) checkpointExtra() []byte {
+	e.vioMu.Lock()
+	defer e.vioMu.Unlock()
+	if !e.vioHave {
+		return nil
+	}
+	buf := make([]byte, 0, 8*(len(e.vioA)+len(e.vioB)))
+	for _, w := range e.vioA {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	for _, w := range e.vioB {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// restoreExtra is checkpointExtra's inverse, applied during resume.
+func (e *explorer) restoreExtra(raw []byte) error {
+	wpk := e.codec.Words()
+	if len(raw) != 16*wpk {
+		return fmt.Errorf("verify: checkpoint witness payload is %d bytes, want %d", len(raw), 16*wpk)
+	}
+	e.vioMu.Lock()
+	defer e.vioMu.Unlock()
+	e.vioA = e.vioA[:0]
+	e.vioB = e.vioB[:0]
+	for i := 0; i < wpk; i++ {
+		e.vioA = append(e.vioA, binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	for i := wpk; i < 2*wpk; i++ {
+		e.vioB = append(e.vioB, binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	e.vioHave = true
 	return nil
 }
 
@@ -714,7 +906,7 @@ func (e *explorer) seed(emit explore.Emit) error {
 
 // explore runs the engine to a fixed point.
 func (e *explorer) explore() error {
-	return explore.Run(explore.Config{
+	cfg := explore.Config{
 		Store:   e.store,
 		Workers: e.workers,
 		Limit:   e.limit,
@@ -729,7 +921,29 @@ func (e *explorer) explore() error {
 		Progress:         e.opts.Progress,
 		ProgressInterval: e.opts.ProgressInterval,
 		Metrics:          e.opts.Metrics,
-	})
+	}
+	if e.store.Lossy() {
+		cfg.FrontierMemBytes = e.opts.SpillMemBytes
+		cfg.SpillDir = e.opts.SpillDir
+		cfg.CheckpointDir = e.opts.CheckpointDir
+		cfg.CheckpointInterval = e.opts.CheckpointInterval
+		cfg.Resume = e.opts.Resume
+		if e.opts.CheckpointDir != "" {
+			cfg.CheckpointTag = e.checkpointTag()
+			cfg.CheckpointExtra = e.checkpointExtra
+			cfg.RestoreExtra = e.restoreExtra
+		}
+	}
+	return explore.Run(cfg)
+}
+
+// checkpointTag extends the caller's tag with the run geometry, so a
+// resume against a checkpoint from a different protocol instance, store
+// sizing, or verdict mode fails loudly instead of corrupting the search.
+func (e *explorer) checkpointTag() string {
+	bs := e.store.(*explore.Bitstate)
+	return fmt.Sprintf("%s|v1|wpk=%d|bits=%d|k=%d|r=%d|out=%t|sym=%d|limit=%d",
+		e.opts.CheckpointTag, e.codec.Words(), bs.Bits(), bs.K(), e.r, e.trackOutputs, e.sym.Order(), e.limit)
 }
 
 // flushStageClocks merges every worker's sampled stage locals into the
@@ -933,6 +1147,9 @@ func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opt
 		return Decision{}, err
 	}
 	e.flushStageClocks()
+	if e.store.Lossy() {
+		return e.lossyDecision()
+	}
 	m := opts.Metrics
 	total := e.store.Compact()
 	chunks := e.edgeChunks()
@@ -968,7 +1185,7 @@ func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opt
 	m.Gauge(MetricViolatingSCCs).Set(int64(nViolating))
 	m.Gauge(MetricQuotient).Set(int64(e.sym.Order()))
 	m.Gauge(MetricStates).Set(int64(total))
-	dec := Decision{Stabilizing: nViolating == 0, States: total, Quotient: e.sym.Order()}
+	dec := Decision{Stabilizing: nViolating == 0, States: total, Quotient: e.sym.Order(), Exact: true}
 	if nViolating == 0 {
 		return dec, nil
 	}
@@ -977,6 +1194,55 @@ func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opt
 	m.Gauge(MetricWitnessNs).Set(int64(time.Since(t4)))
 	if err != nil {
 		return Decision{}, err
+	}
+	dec.Witness = w
+	return dec, nil
+}
+
+// lossyDecision assembles the verdict of a bitstate run: the graph
+// analysis of exact mode (rank → CSR → SCC) never runs — the lossy store
+// cannot reproduce states and no edge log exists — so the decision is
+// either the on-the-fly violation (exact witness) or "no violation found".
+// The schema-required verify gauges are still published, zeroed where the
+// stage did not run, so bitstate reports validate against the same schema.
+func (e *explorer) lossyDecision() (Decision, error) {
+	m := e.opts.Metrics
+	total := e.store.Len()
+	m.Gauge(MetricRankNs).Set(0)
+	m.Gauge(MetricCSRNs).Set(0)
+	m.Gauge(MetricSCCNs).Set(0)
+	m.Gauge(MetricWitnessNs).Set(0)
+	m.Gauge(MetricSCCs).Set(0)
+	m.Gauge(MetricQuotient).Set(int64(e.sym.Order()))
+	m.Gauge(MetricStates).Set(int64(total))
+	bs := e.store.(*explore.Bitstate)
+	dec := Decision{
+		States:     total,
+		Quotient:   e.sym.Order(),
+		BitstateK:  bs.K(),
+		HashFactor: bs.HashFactor(),
+	}
+	e.vioMu.Lock()
+	defer e.vioMu.Unlock()
+	if !e.vioHave {
+		m.Gauge(MetricViolatingSCCs).Set(0)
+		dec.Stabilizing = true
+		return dec, nil
+	}
+	m.Gauge(MetricViolatingSCCs).Set(1)
+	dec.Stabilizing = false
+	dec.Exact = true // a concrete violation is exact even under a lossy store
+	w := &Witness{}
+	if e.trackOutputs {
+		w.Outputs = [2][]core.Bit{
+			e.codec.UnpackOutputs(e.vioA, nil),
+			e.codec.UnpackOutputs(e.vioB, nil),
+		}
+	} else {
+		w.Labelings = [2]core.Labeling{
+			e.codec.UnpackLabels(e.vioA, nil),
+			e.codec.UnpackLabels(e.vioB, nil),
+		}
 	}
 	dec.Witness = w
 	return dec, nil
