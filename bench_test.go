@@ -169,6 +169,47 @@ func BenchmarkVerifyStatesGraph(b *testing.B) {
 			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
 		})
 	}
+
+	// Topology-zoo variants exercise the generalized symmetry groups:
+	// the dihedral group on the bidirectional 6-ring (|Γ| = 12, dense
+	// 30-bit states), the signed bit permutations on the 3-cube (|Γ| = 48)
+	// and the translations on the 3×3 torus (|Γ| = 9), both hash-stored.
+	// The sym=off/sym=on pairs make the quotient's explored-state reduction
+	// a pinned structural fact (occ_ppm for dense; states/s denominators
+	// otherwise) rather than a wall-clock claim.
+	for _, zc := range []struct {
+		name  string
+		g     *graph.Graph
+		store verify.StoreKind
+		sym   verify.SymmetryMode
+	}{
+		{"dihedral/store=dense/sym=off", graph.BidirectionalRing(6), verify.StoreDense, verify.SymmetryOff},
+		{"dihedral/store=dense/sym=on", graph.BidirectionalRing(6), verify.StoreDense, verify.SymmetryOn},
+		{"cube/store=hash/sym=off", graph.Hypercube(3), verify.StoreHash, verify.SymmetryOff},
+		{"cube/store=hash/sym=on", graph.Hypercube(3), verify.StoreHash, verify.SymmetryOn},
+		{"torus/store=hash/sym=off", graph.Torus(3, 3), verify.StoreHash, verify.SymmetryOff},
+		{"torus/store=hash/sym=on", graph.Torus(3, 3), verify.StoreHash, verify.SymmetryOn},
+	} {
+		zp, err := protocols.SaturatingNet(zc.g, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		zx := make(core.Input, zc.g.N())
+		opts := verify.Options{Limit: 1 << 24, Store: zc.store, Symmetry: zc.sym}
+		b.Run(zc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			reportStructure(b, zp, zx, 2, opts)
+			states := 0
+			for i := 0; i < b.N; i++ {
+				dec, err := verify.LabelRStabilizingOpts(zp, zx, 2, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states += dec.States
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+		})
+	}
 }
 
 // reportStructure runs one instrumented verdict outside the timed region
@@ -311,4 +352,8 @@ func BenchmarkE13_AlmostStateless(b *testing.B) {
 
 func BenchmarkE14_RandomizedSymmetryBreaking(b *testing.B) {
 	benchExperiment(b, experiments.E14RandomizedSymmetryBreaking)
+}
+
+func BenchmarkE15_SymmetryZoo(b *testing.B) {
+	benchExperiment(b, experiments.E15SymmetryZoo)
 }

@@ -9,6 +9,17 @@
 //	verify -protocol example1 -n 4 -r 2 -progress
 //	verify -protocol example1 -n 4 -r 2 -report out.jsonl -debug-addr :6060
 //
+// Topology-zoo protocols exercise the generalized symmetry quotient
+// (broadcast protocols commute with the full automorphism group — dihedral
+// on bidirectional rings, signed bit permutations on hypercubes,
+// translations on tori; the rooted BFS tree falls back to the root's
+// stabilizer subgroup):
+//
+//	verify -protocol bidir-ring -n 6 -sigma 2 -r 2
+//	verify -protocol cube -n 3 -r 2            (n = dimension: 2^n nodes)
+//	verify -protocol torus -rows 3 -cols 3 -r 2
+//	verify -protocol bfs-cube -n 2 -sigma 3 -r 2
+//
 // Spin-class capacity mode — lossy bitstate search with disk spilling and
 // kill-safe checkpoints (see README "Store selection"):
 //
@@ -30,6 +41,7 @@ import (
 	"stateless/internal/bestresponse"
 	"stateless/internal/core"
 	"stateless/internal/explore"
+	"stateless/internal/graph"
 	"stateless/internal/obs"
 	"stateless/internal/protocols"
 	"stateless/internal/verify"
@@ -45,9 +57,11 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	var (
-		name        = fs.String("protocol", "example1", "protocol: example1 | ring | copy-ring | bgp-good | bgp-disagree | bgp-bad")
-		n           = fs.Int("n", 3, "clique size for example1, ring size for ring/copy-ring")
-		sigma       = fs.Uint64("sigma", 2, "label alphabet size for ring/copy-ring")
+		name        = fs.String("protocol", "example1", "protocol: example1 | ring | copy-ring | bidir-ring | cube | torus | bfs-cube | bgp-good | bgp-disagree | bgp-bad")
+		n           = fs.Int("n", 3, "clique size for example1, ring size for ring/copy-ring/bidir-ring, dimension for cube/bfs-cube")
+		rows        = fs.Int("rows", 3, "torus: grid rows")
+		cols        = fs.Int("cols", 3, "torus: grid columns")
+		sigma       = fs.Uint64("sigma", 2, "label alphabet size for ring/copy-ring/bidir-ring/cube/torus/bfs-cube")
 		r           = fs.Int("r", 2, "fairness parameter")
 		output      = fs.Bool("output", false, "check output stabilization instead of label stabilization")
 		limit       = fs.Int("limit", 1<<24, "state-space limit")
@@ -74,8 +88,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var (
-		p   *core.Protocol
-		err error
+		p      *core.Protocol
+		err    error
+		rooted bool // bfs-cube: node 0 is the root (input bit 1)
 	)
 	switch *name {
 	case "example1":
@@ -84,6 +99,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		p, err = protocols.SaturatingRing(*n, *sigma)
 	case "copy-ring":
 		p, err = protocols.CopyRing(*n, *sigma)
+	case "bidir-ring":
+		p, err = protocols.SaturatingNet(graph.BidirectionalRing(*n), *sigma)
+	case "cube":
+		p, err = protocols.SaturatingNet(graph.Hypercube(*n), *sigma)
+	case "torus":
+		p, err = protocols.SaturatingNet(graph.Torus(*rows, *cols), *sigma)
+	case "bfs-cube":
+		p, err = protocols.BFSSpanningTree(graph.Hypercube(*n), *sigma)
+		rooted = true
 	case "bgp-good":
 		p, err = bestresponse.GoodGadget().Protocol()
 	case "bgp-disagree":
@@ -97,6 +121,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	x := make(core.Input, p.Graph().N())
+	if rooted {
+		x[0] = 1
+	}
 
 	// A registry is attached whenever some sink will read it: a report
 	// file, the debug server, or the extended progress line.
@@ -125,6 +152,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"limit":   strconv.Itoa(*limit),
 		"workers": strconv.Itoa(*workers),
 		"store":   *store,
+	}
+	if *name == "torus" {
+		rep.Options["rows"] = strconv.Itoa(*rows)
+		rep.Options["cols"] = strconv.Itoa(*cols)
 	}
 
 	var storeKind verify.StoreKind

@@ -19,6 +19,14 @@ import (
 // len(out) is the node's out-degree; implementations must fill every entry.
 type Reaction func(in []Label, input Bit, out []Label) Bit
 
+// SymmetricReaction is the reaction shape of a fully symmetric protocol:
+// it sees the incoming labels as a multiset (the wrapper sorts them before
+// every call, so the function cannot depend on their order even by
+// accident) and broadcasts one label on every outgoing edge. Many natural
+// self-stabilizing protocols — OR/max diffusion, BFS distance relaxation —
+// have this shape.
+type SymmetricReaction func(in []Label, input Bit) (Label, Bit)
+
 // Protocol is a stateless protocol A = (Σ, δ) on a fixed graph: the label
 // space plus one reaction function per node.
 type Protocol struct {
@@ -26,6 +34,7 @@ type Protocol struct {
 	space     LabelSpace
 	reactions []Reaction
 	uniform   bool
+	symmetric bool
 }
 
 // Construction errors.
@@ -76,6 +85,58 @@ func NewUniformProtocol(g *graph.Graph, space LabelSpace, r Reaction) (*Protocol
 	p.uniform = true
 	return p, nil
 }
+
+// NewSymmetricProtocol builds a node-uniform protocol whose shared reaction
+// is symmetric: order-blind in its in-labels and broadcasting one label on
+// all out-edges. The wrapper enforces both halves of the declaration — the
+// in-buffer is sorted before r sees it and r's single result label is
+// copied to every out slot — so Symmetric() is sound by construction, not
+// by trust.
+//
+// Why this matters: such a reaction commutes with EVERY automorphism π of
+// the graph, not just the order-preserving ones. Under the relabeling
+// ℓ^π(π_E(e)) = ℓ(e), node π(v) receives exactly v's in-multiset (π_E maps
+// In(v) onto In(π(v)) as sets, and sorting erases the order), so it
+// computes v's old result and broadcasts it onto π_E(Out(v)) — the image of
+// v's old out-assignment. Executions therefore map to executions under the
+// full automorphism group, which is what lets internal/explore quotient by
+// dihedral, hypercube, and torus groups instead of the ≤ n order-preserving
+// elements.
+func NewSymmetricProtocol(g *graph.Graph, space LabelSpace, r SymmetricReaction) (*Protocol, error) {
+	if r == nil {
+		return nil, ErrNilReaction
+	}
+	p, err := NewUniformProtocol(g, space, func(in []Label, input Bit, out []Label) Bit {
+		// Insertion sort: in-degrees are tiny and the buffer is usually
+		// nearly sorted, so this stays allocation-free and cheap.
+		for i := 1; i < len(in); i++ {
+			l := in[i]
+			j := i - 1
+			for j >= 0 && in[j] > l {
+				in[j+1] = in[j]
+				j--
+			}
+			in[j+1] = l
+		}
+		label, y := r(in, input)
+		for i := range out {
+			out[i] = label
+		}
+		return y
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.symmetric = true
+	return p, nil
+}
+
+// Symmetric reports whether the protocol was built with
+// NewSymmetricProtocol: every node runs the same order-blind broadcast
+// reaction. Symmetric protocols commute with the full automorphism group of
+// their graph (see NewSymmetricProtocol), and their states-graph analysis
+// may restrict seeding to per-node-uniform labelings (see internal/verify).
+func (p *Protocol) Symmetric() bool { return p.symmetric }
 
 // Uniform reports whether the protocol was built with NewUniformProtocol,
 // i.e. every node provably runs the same reaction function. Symmetry

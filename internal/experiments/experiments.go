@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"E12", E12AsyncRuntime},
 		{"E13", E13AlmostStateless},
 		{"E14", E14RandomizedSymmetryBreaking},
+		{"E15", E15SymmetryZoo},
 	}
 }
 

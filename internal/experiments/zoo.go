@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/protocols"
+	"stateless/internal/verify"
+)
+
+// E15SymmetryZoo measures the generalized symmetry quotient across the
+// topology zoo: for each (graph, protocol) pair the verifier runs once
+// with the quotient off and once with it on, and the table reports the
+// automorphism group the quotient used (full graph group for broadcast
+// protocols, the input-invariant subgroup for the rooted BFS tree), the
+// raw vs canonical state counts, and the measured reduction factor. The
+// verdict column doubles as the oracle: it must be identical in both
+// runs (the quotient is exact), and the FlipNet row must come out
+// non-stabilizing while every other row stabilizes.
+func E15SymmetryZoo() (Table, error) {
+	t := Table{
+		ID:     "E15",
+		Title:  "Generalized symmetry quotient: group orders and state reduction across the topology zoo",
+		Header: []string{"topology", "protocol", "|Γ|", "raw states", "canonical", "reduction", "stabilizing (r=2)"},
+	}
+
+	type instance struct {
+		topology string
+		protocol string
+		p        *core.Protocol
+		x        core.Input
+		err      error
+	}
+	saturating := func(topology string, g *graph.Graph) instance {
+		p, err := protocols.SaturatingNet(g, 2)
+		return instance{topology, "saturating-net", p, make(core.Input, g.N()), err}
+	}
+	cube2 := graph.Hypercube(2)
+	bfs, bfsErr := protocols.BFSSpanningTree(cube2, 3)
+	bfsInput := make(core.Input, cube2.N())
+	bfsInput[0] = 1
+	flipG := graph.BidirectionalRing(4)
+	flip, flipErr := protocols.FlipNet(flipG)
+
+	for _, in := range []instance{
+		saturating("bidir-ring5", graph.BidirectionalRing(5)),
+		saturating("cube3", graph.Hypercube(3)),
+		saturating("torus3x3", graph.Torus(3, 3)),
+		{"cube2 (rooted)", "bfs-tree", bfs, bfsInput, bfsErr},
+		{"bidir-ring4", "flip-net", flip, make(core.Input, flipG.N()), flipErr},
+	} {
+		if in.err != nil {
+			return t, in.err
+		}
+		raw := verifyOpts()
+		raw.Symmetry = verify.SymmetryOff
+		full, err := verify.LabelRStabilizingOpts(in.p, in.x, 2, raw)
+		if err != nil {
+			return t, err
+		}
+		quotiented := verifyOpts()
+		quotiented.Symmetry = verify.SymmetryOn
+		quot, err := verify.LabelRStabilizingOpts(in.p, in.x, 2, quotiented)
+		if err != nil {
+			return t, err
+		}
+		if quot.Stabilizing != full.Stabilizing {
+			return t, errTable("E15: quotient changed the verdict on " + in.topology)
+		}
+		t.Rows = append(t.Rows, []string{
+			in.topology, in.protocol, itoa(quot.Quotient),
+			itoa(full.States), itoa(quot.States),
+			ftoa(float64(full.States)/float64(quot.States)) + "x",
+			btoa(quot.Stabilizing),
+		})
+	}
+	return t, nil
+}
+
+type errTable string
+
+func (e errTable) Error() string { return string(e) }

@@ -6,75 +6,114 @@ import (
 	"stateless/internal/graph"
 )
 
-// Symmetry is an immutable symmetry-quotient context: the graph's
-// order-preserving automorphism group (graph.OrderAutomorphisms) lifted to
-// permutations of packed states. Quotienting replaces every explored state
-// by the lexicographically minimal packed state in its orbit, shrinking the
-// visited set by up to the group order while preserving verdicts exactly —
-// see internal/verify for the quotient-correct violation criterion.
+// Symmetry is an immutable symmetry-quotient context: an automorphism group
+// of the protocol graph (graph.Group) lifted to permutations of packed
+// states. Quotienting replaces every explored state by the lexicographically
+// minimal packed state in its orbit, shrinking the visited set by up to the
+// group order while preserving verdicts exactly — see internal/verify for
+// the quotient-correct violation criterion.
 //
-// Soundness requires the transition relation to commute with the group:
-// NewSymmetry therefore returns nil (quotient disabled) unless the protocol
-// is node-uniform (core.Protocol.Uniform) and the input vector is invariant
-// under every automorphism. Order preservation of the automorphisms does
-// the rest: a uniform reaction sees its in-labels and writes its out-labels
-// in the canonical incidence order, which the automorphisms preserve
-// position by position.
+// Which group is sound depends on what the protocol declares:
+//
+//   - core.Protocol.Symmetric protocols (order-blind broadcast reactions)
+//     commute with EVERY automorphism, so the full detected group
+//     (graph.SymmetryGroup: dihedral on bidirectional rings, signed
+//     permutations on hypercubes, translations on tori, S_n on cliques)
+//     applies.
+//   - merely node-uniform protocols commute only with the order-preserving
+//     automorphisms (graph.OrderPreservingGroup), which see in/out labels
+//     in canonical incidence order position by position.
+//
+// In both cases the input vector must be fixed by the group; instead of
+// bailing out when it is not, NewSymmetry quotients by the largest
+// input-invariant subgroup (invariance is closed under composition and
+// inverse, so the surviving elements form a genuine group and "minimal over
+// the subgroup" is a consistent canonical form).
+//
+// Canonicalization has three speed tiers:
+//
+//   - small materialized groups (order ≤ elementTableLimit) on single-word
+//     states: one precomputed 8×256 byte table per element, the orbit
+//     minimum is |Γ|−1 table applications — the PR 2 fast path, unchanged;
+//   - larger groups on single-word states: byte tables per GENERATOR and a
+//     BFS over the orbit, visiting each orbit element once — the orbit is
+//     at most |Γ| states but typically far smaller than the element count
+//     that the table path would touch, and the group is never materialized;
+//   - multi-word states: unpack–permute–pack per element (small groups) or
+//     per BFS step (generator-only groups).
 type Symmetry struct {
 	codec *enc.Codec
-	auts  []graph.Automorphism // non-identity elements only
-	order int                  // group order including the identity
+	group *graph.Group
+	order int
 
-	// tables is the fast path for single-word states: tables[a][b][v] is
-	// the contribution of input byte b holding value v to the packed image
-	// of the state under automorphism a, so applying an automorphism is
-	// eight table lookups ORed together instead of an unpack–permute–pack
-	// round trip. nil for multi-word states.
-	tables [][8][256]uint64
+	// Exactly one of auts/gens is non-nil. auts holds every non-identity
+	// element of a small materialized group (minimize by enumeration);
+	// gens holds the non-identity generators of a larger group (minimize
+	// by orbit BFS).
+	auts []graph.Automorphism
+	gens []graph.Automorphism
+
+	// tables[i] is the single-word byte-lookup table of auts[i] (element
+	// path) and genTables[i] that of gens[i] (orbit-BFS path): table[b][v]
+	// is the contribution of input byte b holding value v to the packed
+	// image, so applying one automorphism is eight lookups ORed together.
+	// Both nil for multi-word states.
+	tables    [][8][256]uint64
+	genTables [][8][256]uint64
 }
 
+// elementTableLimit bounds the per-element byte-table path: beyond this
+// group order the orbit-BFS path wins (and caps table memory at 256 KiB).
+const elementTableLimit = 128
+
 // NewSymmetry builds the quotient context for (p, x) states packed by
-// codec, or returns nil when quotienting is unsound or trivial (group order
-// 1). codec must lay out p.Graph().M() labels and either zero or
-// p.Graph().N() countdown fields.
+// codec, or returns nil when quotienting is unsound or trivial (invariant
+// subgroup of order 1). codec must lay out p.Graph().M() labels and either
+// zero or p.Graph().N() countdown fields.
 func NewSymmetry(p *core.Protocol, x core.Input, codec *enc.Codec) *Symmetry {
 	if !p.Uniform() {
 		return nil
 	}
-	auts := p.Graph().OrderAutomorphisms()
-	nonID := auts[:0]
-	for _, a := range auts {
-		if a.IsIdentity() {
-			continue
-		}
-		invariant := true
+	var base *graph.Group
+	if p.Symmetric() {
+		base = p.Graph().SymmetryGroup()
+	} else {
+		base = p.Graph().OrderPreservingGroup()
+	}
+	sub := base.Subgroup(func(a graph.Automorphism) bool {
 		for v, img := range a.Node {
 			if x[v] != x[img] {
-				invariant = false
-				break
+				return false
 			}
 		}
-		if invariant {
-			nonID = append(nonID, a)
+		return true
+	})
+	if sub.Order() <= 1 {
+		return nil
+	}
+	s := &Symmetry{codec: codec, group: sub, order: sub.Order()}
+	if elems := sub.Elements(); elems != nil && len(elems) <= elementTableLimit {
+		s.auts = nonIdentity(elems)
+		if codec.Words() == 1 {
+			s.tables = buildTables(codec, s.auts)
+		}
+	} else {
+		s.gens = nonIdentity(sub.Generators())
+		if codec.Words() == 1 {
+			s.genTables = buildTables(codec, s.gens)
 		}
 	}
-	if len(nonID) == 0 {
-		return nil
-	}
-	// Dropping non-invariant automorphisms can break the group property
-	// (the surviving set might not be closed under composition), which
-	// would make "minimal over the listed elements" orbit-dependent. Keep
-	// the quotient only when every non-identity automorphism survived —
-	// for rings that is the common case: either x is rotation invariant
-	// (all equal) or it is not and the quotient is off.
-	if len(nonID) != len(auts)-1 {
-		return nil
-	}
-	s := &Symmetry{codec: codec, auts: nonID, order: len(auts)}
-	if codec.Words() == 1 {
-		s.buildTables()
-	}
 	return s
+}
+
+func nonIdentity(auts []graph.Automorphism) []graph.Automorphism {
+	out := make([]graph.Automorphism, 0, len(auts))
+	for _, a := range auts {
+		if !a.IsIdentity() {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // bitMove is one field relocation of a state permutation: width bits move
@@ -85,8 +124,7 @@ type bitMove struct {
 
 // moves lists the field relocations induced by automorphism a: label field
 // e lands at Edge[e], countdown and output fields v land at Node[v].
-func (s *Symmetry) moves(a *graph.Automorphism) []bitMove {
-	c := s.codec
+func moves(c *enc.Codec, a *graph.Automorphism) []bitMove {
 	var out []bitMove
 	if w := c.LabelFieldBits(); w > 0 {
 		for e := 0; e < c.M(); e++ {
@@ -106,11 +144,11 @@ func (s *Symmetry) moves(a *graph.Automorphism) []bitMove {
 	return out
 }
 
-func (s *Symmetry) buildTables() {
-	s.tables = make([][8][256]uint64, len(s.auts))
-	for ai := range s.auts {
-		tab := &s.tables[ai]
-		for _, mv := range s.moves(&s.auts[ai]) {
+func buildTables(codec *enc.Codec, auts []graph.Automorphism) [][8][256]uint64 {
+	tables := make([][8][256]uint64, len(auts))
+	for ai := range auts {
+		tab := &tables[ai]
+		for _, mv := range moves(codec, &auts[ai]) {
 			for j := 0; j < mv.width; j++ {
 				srcBit := mv.src + j
 				dstBit := mv.dst + j
@@ -123,14 +161,30 @@ func (s *Symmetry) buildTables() {
 			}
 		}
 	}
+	return tables
 }
 
-// Order returns the automorphism group order (≥ 2 for a non-nil Symmetry).
+// Order returns the order of the quotient group (≥ 2 for non-nil Symmetry).
 func (s *Symmetry) Order() int {
 	if s == nil {
 		return 1
 	}
 	return s.order
+}
+
+// Group returns the input-invariant automorphism group being quotiented by,
+// or nil for a nil Symmetry.
+func (s *Symmetry) Group() *graph.Group {
+	if s == nil {
+		return nil
+	}
+	return s.group
+}
+
+// applyTable runs one automorphism's byte table over a single-word state.
+func applyTable(t *[8][256]uint64, k uint64) uint64 {
+	return t[0][k&0xff] | t[1][k>>8&0xff] | t[2][k>>16&0xff] | t[3][k>>24&0xff] |
+		t[4][k>>32&0xff] | t[5][k>>40&0xff] | t[6][k>>48&0xff] | t[7][k>>56&0xff]
 }
 
 // Canon is one worker's canonicalization scratch over a shared Symmetry.
@@ -144,7 +198,17 @@ type Canon struct {
 	pcd    []uint8
 	pout   []core.Bit
 	cand   []uint64
+	pimg   []uint64
 	best   []uint64
+
+	// Orbit-BFS scratch: single-word visited set and queue, and their
+	// multi-word counterparts (queue holds states back to back; the
+	// visited set keys on the raw word bytes).
+	seen1  map[uint64]struct{}
+	queue1 []uint64
+	seenW  map[string]struct{}
+	queueW []uint64
+	keyBuf []byte
 }
 
 // NewCanon returns a fresh canonicalization scratch.
@@ -156,86 +220,178 @@ func (s *Symmetry) NewCanon() *Canon {
 // orbit (minimal as an unsigned integer in the packed-word encoding, most
 // significant word first) and returns it. The orbit of (ℓ, x⃗, y⃗) under an
 // automorphism π is (ℓ∘π⁻¹ on edges, countdowns and outputs permuted by π
-// on nodes). Single-word states take the precomputed table path (eight
-// byte lookups per automorphism); wider states unpack, permute, and
-// repack.
+// on nodes). Small materialized groups enumerate every element; larger
+// groups BFS the orbit via the generators (sound because every element of a
+// finite group is a positive word in the generators, so the BFS covers the
+// whole orbit).
 func (c *Canon) Canonicalize(key []uint64) []uint64 {
-	if c.s.tables != nil {
+	s := c.s
+	switch {
+	case s.tables != nil:
 		k := key[0]
 		best := k
-		for ai := range c.s.tables {
-			t := &c.s.tables[ai]
-			cand := t[0][k&0xff] | t[1][k>>8&0xff] | t[2][k>>16&0xff] | t[3][k>>24&0xff] |
-				t[4][k>>32&0xff] | t[5][k>>40&0xff] | t[6][k>>48&0xff] | t[7][k>>56&0xff]
-			if cand < best {
+		for ai := range s.tables {
+			if cand := applyTable(&s.tables[ai], k); cand < best {
 				best = cand
 			}
 		}
 		key[0] = best
 		return key
+	case s.genTables != nil:
+		key[0] = c.orbitMinFast(key[0])
+		return key
+	case s.auts != nil:
+		return c.slowCanonicalize(key)
+	default:
+		return c.orbitMinSlow(key)
 	}
-	return c.slowCanonicalize(key)
 }
 
 // CanonicalizeBatch rewrites count keys, packed back to back in block, to
 // their orbit minima — the batch counterpart of Canonicalize. On the
-// single-word fast path the whole block runs through one flat loop over
+// single-word element path the whole block runs through one flat loop over
 // the precomputed byte tables (the table slice header and bounds are
 // hoisted out of the per-state work instead of being re-derived per call);
-// wider states fall back to the generic path per key.
+// the other paths fall back to the per-key routine.
 func (c *Canon) CanonicalizeBatch(block []uint64, count int) {
-	if c.s.tables != nil {
-		tables := c.s.tables
+	s := c.s
+	switch {
+	case s.tables != nil:
+		tables := s.tables
 		for i := 0; i < count; i++ {
 			k := block[i]
 			best := k
 			for ai := range tables {
-				t := &tables[ai]
-				cand := t[0][k&0xff] | t[1][k>>8&0xff] | t[2][k>>16&0xff] | t[3][k>>24&0xff] |
-					t[4][k>>32&0xff] | t[5][k>>40&0xff] | t[6][k>>48&0xff] | t[7][k>>56&0xff]
-				if cand < best {
+				if cand := applyTable(&tables[ai], k); cand < best {
 					best = cand
 				}
 			}
 			block[i] = best
 		}
-		return
-	}
-	w := c.s.codec.Words()
-	for i := 0; i < count; i++ {
-		c.slowCanonicalize(block[i*w : (i+1)*w])
+	case s.genTables != nil:
+		for i := 0; i < count; i++ {
+			block[i] = c.orbitMinFast(block[i])
+		}
+	default:
+		w := s.codec.Words()
+		for i := 0; i < count; i++ {
+			c.Canonicalize(block[i*w : (i+1)*w])
+		}
 	}
 }
 
-// slowCanonicalize is the generic multi-word path.
-func (c *Canon) slowCanonicalize(key []uint64) []uint64 {
+// orbitMinFast BFS-enumerates the orbit of a single-word state under the
+// generator byte tables and returns its minimum. Each orbit element is
+// visited exactly once; the visited set and queue are reused across calls.
+func (c *Canon) orbitMinFast(k uint64) uint64 {
+	if c.seen1 == nil {
+		c.seen1 = make(map[uint64]struct{}, 64)
+	} else {
+		clear(c.seen1)
+	}
+	c.queue1 = append(c.queue1[:0], k)
+	c.seen1[k] = struct{}{}
+	best := k
+	for head := 0; head < len(c.queue1); head++ {
+		cur := c.queue1[head]
+		for ti := range c.s.genTables {
+			img := applyTable(&c.s.genTables[ti], cur)
+			if _, ok := c.seen1[img]; ok {
+				continue
+			}
+			c.seen1[img] = struct{}{}
+			c.queue1 = append(c.queue1, img)
+			if img < best {
+				best = img
+			}
+		}
+	}
+	return best
+}
+
+// orbitMinSlow is the multi-word generator-BFS path: apply each generator
+// by unpack–permute–pack and key the visited set on the raw word bytes.
+func (c *Canon) orbitMinSlow(key []uint64) []uint64 {
 	s := c.s
-	codec := s.codec
-	c.labels = codec.UnpackLabels(key, c.labels)
+	w := s.codec.Words()
+	if c.seenW == nil {
+		c.seenW = make(map[string]struct{}, 64)
+	} else {
+		clear(c.seenW)
+	}
+	c.queueW = append(c.queueW[:0], key...)
+	c.seenW[string(c.wordBytes(key))] = struct{}{}
+	c.best = append(c.best[:0], key...)
+	for head := 0; head*w < len(c.queueW); head++ {
+		// Images are appended to queueW during the walk, which may grow the
+		// backing array; copy the current state out first.
+		c.cand = append(c.cand[:0], c.queueW[head*w:(head+1)*w]...)
+		cur := c.cand
+		for i := range s.gens {
+			img := c.apply(&s.gens[i], cur)
+			kb := c.wordBytes(img)
+			if _, ok := c.seenW[string(kb)]; ok {
+				continue
+			}
+			c.seenW[string(kb)] = struct{}{}
+			c.queueW = append(c.queueW, img...)
+			if wordsLess(img, c.best) {
+				c.best = append(c.best[:0], img...)
+			}
+		}
+	}
+	copy(key, c.best)
+	return key
+}
+
+// wordBytes serializes a packed state into the reusable key buffer.
+func (c *Canon) wordBytes(words []uint64) []byte {
+	c.keyBuf = c.keyBuf[:0]
+	for _, w := range words {
+		c.keyBuf = append(c.keyBuf,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return c.keyBuf
+}
+
+// apply computes the image of packed state src under automorphism a by
+// unpack–permute–pack into c's scratch (the result aliases a scratch buffer
+// that the next apply call overwrites).
+func (c *Canon) apply(a *graph.Automorphism, src []uint64) []uint64 {
+	codec := c.s.codec
+	c.labels = codec.UnpackLabels(src, c.labels)
 	if codec.N() > 0 {
-		c.cd = codec.UnpackCountdown(key, c.cd)
+		c.cd = codec.UnpackCountdown(src, c.cd)
 		if codec.HasOutputs() {
-			c.out = codec.UnpackOutputs(key, c.out)
+			c.out = codec.UnpackOutputs(src, c.out)
 		}
 	}
 	c.plab = ensureLabels(c.plab, len(c.labels))
 	c.pcd = ensureU8(c.pcd, len(c.cd))
 	c.pout = ensureBits(c.pout, len(c.out))
+	for e, l := range c.labels {
+		c.plab[a.Edge[e]] = l
+	}
+	for v := range c.cd {
+		c.pcd[a.Node[v]] = c.cd[v]
+	}
+	for v := range c.out {
+		c.pout[a.Node[v]] = c.out[v]
+	}
+	c.pimg = codec.Pack(c.plab, c.pcd, c.pout, c.pimg)
+	return c.pimg
+}
+
+// slowCanonicalize is the multi-word element-enumeration path for small
+// materialized groups.
+func (c *Canon) slowCanonicalize(key []uint64) []uint64 {
+	s := c.s
 	best := key
 	for i := range s.auts {
-		a := &s.auts[i]
-		for e, l := range c.labels {
-			c.plab[a.Edge[e]] = l
-		}
-		for v := range c.cd {
-			c.pcd[a.Node[v]] = c.cd[v]
-		}
-		for v := range c.out {
-			c.pout[a.Node[v]] = c.out[v]
-		}
-		c.cand = codec.Pack(c.plab, c.pcd, c.pout, c.cand)
-		if wordsLess(c.cand, best) {
-			c.best = append(c.best[:0], c.cand...)
+		img := c.apply(&s.auts[i], key)
+		if wordsLess(img, best) {
+			c.best = append(c.best[:0], img...)
 			best = c.best
 		}
 	}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// checkGroupAxioms verifies closure, inverses, and the identity on a
+// materialized group — the defining axioms, checked element by element.
+func checkGroupAxioms(t *testing.T, gr *Group) {
+	t.Helper()
+	elems := gr.Elements()
+	if elems == nil {
+		t.Fatalf("group of order %d not materialized", gr.Order())
+	}
+	if len(elems) != gr.Order() {
+		t.Fatalf("Order()=%d but %d elements", gr.Order(), len(elems))
+	}
+	byKey := make(map[string]bool, len(elems))
+	hasIdentity := false
+	for _, a := range elems {
+		if err := validateAutomorphism(gr.Graph(), a); err != nil {
+			t.Fatalf("element is not an automorphism: %v", err)
+		}
+		k := permKey(a.Node)
+		if byKey[k] {
+			t.Fatalf("duplicate element %v", a.Node)
+		}
+		byKey[k] = true
+		if a.IsIdentity() {
+			hasIdentity = true
+		}
+	}
+	if !hasIdentity {
+		t.Fatal("identity missing")
+	}
+	idKey := permKey(identityAutomorphism(gr.Graph()).Node)
+	for _, a := range elems {
+		hasInverse := false
+		for _, b := range elems {
+			prod := compose(a, b)
+			if !byKey[permKey(prod.Node)] {
+				t.Fatalf("not closed: %v ∘ %v escapes the element set", a.Node, b.Node)
+			}
+			if permKey(prod.Node) == idKey {
+				hasInverse = true
+			}
+		}
+		if !hasInverse {
+			t.Fatalf("element %v has no inverse", a.Node)
+		}
+	}
+}
+
+func TestGroupAxiomsAcrossTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		g     *Graph
+		order int
+	}{
+		{"ring5-orderpreserving", Ring(5), 5},
+		{"bidir-ring5-dihedral", BidirectionalRing(5), 10},
+		{"bidir-ring6-dihedral", BidirectionalRing(6), 12},
+		{"cube2", Hypercube(2), 8},
+		{"cube3", Hypercube(3), 48},
+		{"cube4", Hypercube(4), 384},
+		{"torus3x3", Torus(3, 3), 9},
+		{"torus3x4", Torus(3, 4), 12},
+		{"clique4", Clique(4), 24},
+		{"clique2", Clique(2), 2},
+		{"path4-trivial", Path(4), 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gr := tc.g.SymmetryGroup()
+			if gr.Order() != tc.order {
+				t.Fatalf("order = %d, want %d", gr.Order(), tc.order)
+			}
+			checkGroupAxioms(t, gr)
+		})
+	}
+}
+
+// TestLargeGroupsStayGeneratorOnly pins the stabilizer-chain path: groups
+// past MaterializeLimit report their exact order without materializing.
+func TestLargeGroupsStayGeneratorOnly(t *testing.T) {
+	cube6 := Hypercube(6).SymmetryGroup()
+	if cube6.Elements() != nil {
+		t.Fatal("Hypercube(6) group should not be materialized")
+	}
+	if want := 64 * 720; cube6.Order() != want { // 2^6 · 6!
+		t.Fatalf("Hypercube(6) order = %d, want %d", cube6.Order(), want)
+	}
+	k8 := Clique(8).SymmetryGroup()
+	if k8.Elements() != nil {
+		t.Fatal("Clique(8) group should not be materialized")
+	}
+	if want := 40320; k8.Order() != want { // 8!
+		t.Fatalf("Clique(8) order = %d, want %d", k8.Order(), want)
+	}
+}
+
+func TestSubgroupMaterialized(t *testing.T) {
+	// Stabilizer of vertex 0 in Aut(Q_3) = the bit permutations S_3.
+	cube := Hypercube(3).SymmetryGroup()
+	stab := cube.Subgroup(func(a Automorphism) bool { return a.Node[0] == 0 })
+	if stab.Order() != 6 {
+		t.Fatalf("Q3 vertex stabilizer order = %d, want 6", stab.Order())
+	}
+	checkGroupAxioms(t, stab)
+	for _, a := range stab.Elements() {
+		if a.Node[0] != 0 {
+			t.Fatalf("subgroup element moves the fixed vertex: %v", a.Node)
+		}
+	}
+
+	// Alternating input on the even bidirectional ring: even rotations and
+	// the parity-preserving reflections survive — half the dihedral group.
+	ring := BidirectionalRing(6).SymmetryGroup()
+	x := []byte{1, 0, 1, 0, 1, 0}
+	inv := ring.Subgroup(func(a Automorphism) bool {
+		for v, img := range a.Node {
+			if x[v] != x[img] {
+				return false
+			}
+		}
+		return true
+	})
+	if inv.Order() != 6 {
+		t.Fatalf("alternating-input dihedral subgroup order = %d, want 6", inv.Order())
+	}
+	checkGroupAxioms(t, inv)
+}
+
+func TestSubgroupGeneratorOnly(t *testing.T) {
+	// Aut(Q_6) is generator-only; fixing vertex 0 drops the translation
+	// generator and keeps the bit permutations, whose closure is S_6.
+	cube := Hypercube(6).SymmetryGroup()
+	stab := cube.Subgroup(func(a Automorphism) bool { return a.Node[0] == 0 })
+	if stab.Order() != 720 {
+		t.Fatalf("Q6 generator-closure stabilizer order = %d, want 720", stab.Order())
+	}
+}
+
+func TestReduceGenerators(t *testing.T) {
+	gr := Ring(6).OrderPreservingGroup()
+	if gr.Order() != 6 {
+		t.Fatalf("Ring(6) order-preserving group order = %d, want 6", gr.Order())
+	}
+	if len(gr.Generators()) != 1 {
+		t.Fatalf("cyclic group of order 6 should reduce to 1 generator, got %d", len(gr.Generators()))
+	}
+}
+
+func TestNewGroupRejectsNonAutomorphism(t *testing.T) {
+	g := Ring(4)
+	// A transposition of adjacent ring nodes is not an automorphism of the
+	// unidirectional ring.
+	node := []NodeID{1, 0, 2, 3}
+	edge := make([]EdgeID, g.M())
+	for i := range edge {
+		edge[i] = EdgeID(i)
+	}
+	if _, err := NewGroup(g, []Automorphism{{Node: node, Edge: edge}}); err == nil {
+		t.Fatal("NewGroup accepted a non-automorphism")
+	}
+}
+
+// TestValidateRandomPermutations cross-checks validateAutomorphism against
+// a brute-force edge-set test on random permutations of random graphs.
+func TestValidateRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 200; trial++ {
+		g := RandomStronglyConnected(3+rng.IntN(5), 0.3, rng)
+		perm := rng.Perm(g.N())
+		node := make([]NodeID, g.N())
+		for i, v := range perm {
+			node[i] = NodeID(v)
+		}
+		isAut := true
+		for _, e := range g.Edges() {
+			if !g.HasEdge(node[e.From], node[e.To]) {
+				isAut = false
+				break
+			}
+		}
+		a, ok := automorphismFromNodes(g, node)
+		if ok != isAut {
+			t.Fatalf("automorphismFromNodes = %v, brute force says %v", ok, isAut)
+		}
+		if ok {
+			if err := validateAutomorphism(g, a); err != nil {
+				t.Fatalf("lifted automorphism fails validation: %v", err)
+			}
+		}
+	}
+}

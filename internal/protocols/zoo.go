@@ -1,0 +1,154 @@
+package protocols
+
+import (
+	"errors"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+)
+
+// The topology zoo: symmetric (broadcast, order-blind) protocols that run
+// on any strongly connected graph. Built with core.NewSymmetricProtocol,
+// they commute with the graph's FULL automorphism group — dihedral on
+// bidirectional rings, signed permutations on hypercubes, translations on
+// tori, S_n on cliques — so they are the workloads that exercise the
+// generalized symmetry quotient (graph.Group) beyond the unidirectional
+// ring's rotations. Their states-graph analysis also seeds from per-node
+// labelings (Σ^n instead of Σ^m; see internal/verify), which is what makes
+// m ≈ 4n topologies enumerable.
+
+// SaturatingNet generalizes SaturatingRing to an arbitrary graph: every
+// node broadcasts min(max(in)+1, sigma−1) and outputs that value's parity.
+// On a strongly connected graph the minimum label value rises every few
+// rounds until everything saturates at sigma−1, so the protocol is label
+// r-stabilizing for every r — the stabilizing member of the zoo.
+func SaturatingNet(g *graph.Graph, sigma uint64) (*core.Protocol, error) {
+	if g == nil {
+		return nil, errors.New("protocols: nil graph")
+	}
+	if sigma < 2 {
+		return nil, errors.New("protocols: need sigma ≥ 2")
+	}
+	top := core.Label(sigma - 1)
+	return core.NewSymmetricProtocol(g, core.MustLabelSpace(sigma),
+		func(in []core.Label, _ core.Bit) (core.Label, core.Bit) {
+			var v core.Label
+			for _, l := range in {
+				if l > v {
+					v = l
+				}
+			}
+			if v < top {
+				v++
+			}
+			return v, core.Bit(v & 1)
+		})
+}
+
+// FlipNet is the inverter: every node broadcasts 1 − OR(in) and outputs it.
+// The all-zero and all-one labelings map to each other under the always-
+// admissible full activation set, so the states-graph contains a genuine
+// 2-cycle with label changes and the protocol is not label r-stabilizing
+// for any r — the violating member of the zoo. On hypercubes some of its
+// oscillations are self-symmetric: a state maps to an automorphism image
+// of itself in one step, which under the quotient is a section-changing
+// SELF-LOOP — the only violation shape the lossy bitstate store can detect
+// on the fly. That makes FlipNet-on-a-cube the zoo's bitstate oracle (the
+// verify oracle sweep pins it), while FlipNet on a small bidirectional
+// ring shows the complementary case: a genuine violation whose quotient
+// cycle has length ≥ 2, invisible to the lossy store.
+func FlipNet(g *graph.Graph) (*core.Protocol, error) {
+	if g == nil {
+		return nil, errors.New("protocols: nil graph")
+	}
+	return core.NewSymmetricProtocol(g, core.BinarySpace(),
+		func(in []core.Label, _ core.Bit) (core.Label, core.Bit) {
+			var any core.Label
+			for _, l := range in {
+				any |= l
+			}
+			return 1 - any, core.Bit(1 - any)
+		})
+}
+
+// BFSSpanningTree is the classic self-stabilizing BFS distance protocol of
+// Dolev, Israeli and Moran, in stateless broadcast form. Roots (input bit
+// 1) broadcast 0; every other node broadcasts min(in)+1 capped at sigma−1,
+// and outputs the parity of its broadcast value. With a single root and
+// sigma−1 ≥ eccentricity(root), the unique fixed point assigns every node
+// its true BFS distance from the root, and the in-neighbor attaining the
+// minimum is the node's parent in a BFS spanning tree (BFSParents extracts
+// it). Without any root all nodes saturate at sigma−1.
+//
+// Altisen and Bozga's revisited analysis of this algorithm ("Revisited
+// Convergence of Dolev et al's BFS Spanning Tree Algorithm", PAPERS.md)
+// bounds convergence from an arbitrary corrupted state: fake small
+// distances grow by one per traversal until the cap kills them, then
+// correct distances propagate outward — O(ecc + sigma) synchronous rounds,
+// checked empirically in this repo's tests and E15. The input vector is
+// NOT invariant under the full automorphism group (the root is pinned), so
+// this protocol exercises the invariant-subgroup fallback: on a hypercube
+// rooted at vertex 0 the quotient is the root's stabilizer, the d! bit
+// permutations.
+func BFSSpanningTree(g *graph.Graph, sigma uint64) (*core.Protocol, error) {
+	if g == nil {
+		return nil, errors.New("protocols: nil graph")
+	}
+	if sigma < 2 {
+		return nil, errors.New("protocols: need sigma ≥ 2")
+	}
+	top := core.Label(sigma - 1)
+	return core.NewSymmetricProtocol(g, core.MustLabelSpace(sigma),
+		func(in []core.Label, root core.Bit) (core.Label, core.Bit) {
+			if root == 1 {
+				return 0, 0
+			}
+			d := top
+			for _, l := range in {
+				if l < d {
+					d = l
+				}
+			}
+			if d < top {
+				d++
+			}
+			return d, core.Bit(d & 1)
+		})
+}
+
+// BFSParents reads a stable BFSSpanningTree labeling back into a parent
+// array: parent[v] is the source of the in-edge of v carrying the smallest
+// label (the first such edge in canonical order), and -1 for roots. ok
+// reports whether the result is a well-formed spanning tree: exactly the
+// non-roots have parents and following parents from every node reaches a
+// root without cycling.
+func BFSParents(g *graph.Graph, l core.Labeling, x core.Input) (parents []graph.NodeID, ok bool) {
+	n := g.N()
+	parents = make([]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		if x[v] == 1 {
+			parents[v] = -1
+			continue
+		}
+		bestEdge := graph.EdgeID(-1)
+		var best core.Label
+		for _, id := range g.In(graph.NodeID(v)) {
+			if bestEdge < 0 || l[id] < best {
+				bestEdge, best = id, l[id]
+			}
+		}
+		if bestEdge < 0 {
+			return parents, false
+		}
+		parents[v] = g.Edge(bestEdge).From
+	}
+	for v := 0; v < n; v++ {
+		hops := 0
+		for u := graph.NodeID(v); parents[u] != -1; u = parents[u] {
+			if hops++; hops > n {
+				return parents, false // cycle: not a tree
+			}
+		}
+	}
+	return parents, true
+}

@@ -1,0 +1,191 @@
+package protocols
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/graph"
+	"stateless/internal/sim"
+)
+
+func randomLabeling(g *graph.Graph, sigma uint64, rng *rand.Rand) core.Labeling {
+	l := make(core.Labeling, g.M())
+	for i := range l {
+		l[i] = core.Label(rng.Uint64N(sigma))
+	}
+	return l
+}
+
+func TestSaturatingNetStabilizesEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"bidir-ring6", graph.BidirectionalRing(6)},
+		{"cube3", graph.Hypercube(3)},
+		{"torus3x3", graph.Torus(3, 3)},
+		{"clique4", graph.Clique(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const sigma = 3
+			p, err := SaturatingNet(tc.g, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make(core.Input, tc.g.N())
+			for trial := 0; trial < 20; trial++ {
+				res, err := sim.RunSynchronous(p, x, randomLabeling(tc.g, sigma, rng), 200)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Status != sim.LabelStable {
+					t.Fatalf("trial %d: status %v, want label-stable", trial, res.Status)
+				}
+				for _, l := range res.Final.Labels {
+					if l != sigma-1 {
+						t.Fatalf("trial %d: non-saturated stable label %d", trial, l)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFlipNetOscillates(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.BidirectionalRing(4), graph.Hypercube(3), graph.Torus(3, 3),
+	} {
+		p, err := FlipNet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make(core.Input, g.N())
+		res, err := sim.RunSynchronous(p, x, core.UniformLabeling(g, 0), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != sim.Oscillating {
+			t.Fatalf("%v: status %v, want oscillating", g, res.Status)
+		}
+	}
+}
+
+// TestBFSSpanningTreeFixpoint: from ANY initial labeling the synchronous
+// run reaches the unique fixed point where every label equals the true
+// (capped) BFS distance from the root, and BFSParents extracts a spanning
+// tree. The empirical round count is checked against the Altisen–Bozga
+// style bound: fake distances die within sigma−1 rounds, then true
+// distances propagate within ecc more — the run must settle in
+// O(sigma + ecc) rounds.
+func TestBFSSpanningTreeFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 23))
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path5", graph.Path(5)},
+		{"bidir-ring7", graph.BidirectionalRing(7)},
+		{"cube3", graph.Hypercube(3)},
+		{"torus3x3", graph.Torus(3, 3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			n := g.N()
+			root := graph.NodeID(0)
+			ecc := g.Eccentricity(root)
+			sigma := uint64(ecc) + 2
+			p, err := BFSSpanningTree(g, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make(core.Input, n)
+			x[root] = 1
+			dist := g.Distances(root)
+			bound := int(sigma) + ecc + 2
+			for trial := 0; trial < 30; trial++ {
+				res, err := sim.RunSynchronous(p, x, randomLabeling(g, sigma, rng), 10*bound)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Status != sim.LabelStable {
+					t.Fatalf("trial %d: status %v, want label-stable", trial, res.Status)
+				}
+				if res.StabilizedAt > bound {
+					t.Fatalf("trial %d: stabilized at round %d, bound %d (ecc %d, sigma %d)",
+						trial, res.StabilizedAt, bound, ecc, sigma)
+				}
+				// Every out-edge of v carries v's distance from the root.
+				for v := 0; v < n; v++ {
+					want := core.Label(dist[v])
+					if dist[v] > int(sigma-1) {
+						want = core.Label(sigma - 1)
+					}
+					for _, id := range g.Out(graph.NodeID(v)) {
+						if res.Final.Labels[id] != want {
+							t.Fatalf("trial %d: node %d broadcasts %d, true distance %d",
+								trial, v, res.Final.Labels[id], dist[v])
+						}
+					}
+				}
+				parents, ok := BFSParents(g, res.Final.Labels, x)
+				if !ok {
+					t.Fatalf("trial %d: stable labeling does not yield a spanning tree", trial)
+				}
+				for v := 0; v < n; v++ {
+					if graph.NodeID(v) == root {
+						continue
+					}
+					pv := parents[v]
+					if dist[pv] != dist[v]-1 {
+						t.Fatalf("trial %d: parent of %d is %d (dist %d), not one closer than %d",
+							trial, v, pv, dist[pv], dist[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBFSSpanningTreeNoRootSaturates: with no root declared, the protocol
+// degenerates to saturation — the distance-to-nothing diverges to the cap.
+func TestBFSSpanningTreeNoRootSaturates(t *testing.T) {
+	g := graph.BidirectionalRing(5)
+	p, err := BFSSpanningTree(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make(core.Input, g.N())
+	res, err := sim.RunSynchronous(p, x, core.UniformLabeling(g, 0), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sim.LabelStable {
+		t.Fatalf("status %v, want label-stable", res.Status)
+	}
+	for _, l := range res.Final.Labels {
+		if l != 3 {
+			t.Fatalf("rootless BFS label %d, want cap 3", l)
+		}
+	}
+}
+
+// TestZooProtocolsAreSymmetric pins the declarations the symmetry quotient
+// keys on.
+func TestZooProtocolsAreSymmetric(t *testing.T) {
+	g := graph.Hypercube(3)
+	for name, build := range map[string]func() (*core.Protocol, error){
+		"saturating-net": func() (*core.Protocol, error) { return SaturatingNet(g, 3) },
+		"flip-net":       func() (*core.Protocol, error) { return FlipNet(g) },
+		"bfs":            func() (*core.Protocol, error) { return BFSSpanningTree(g, 4) },
+	} {
+		p, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !p.Symmetric() || !p.Uniform() {
+			t.Fatalf("%s: symmetric=%v uniform=%v, want both true", name, p.Symmetric(), p.Uniform())
+		}
+	}
+}

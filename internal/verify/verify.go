@@ -867,8 +867,29 @@ func (e *explorer) restoreExtra(raw []byte) error {
 	return nil
 }
 
-// seed interns the (canonicalized) initial vertices (ℓ, r^n) for every
-// ℓ ∈ Σ^E, sweeping the enumeration across the worker pool.
+// seed interns the (canonicalized) initial vertices (ℓ, r^n), sweeping the
+// enumeration across the worker pool. For general protocols ℓ ranges over
+// all of Σ^E; for symmetric (broadcast) protocols it ranges over the
+// per-node-uniform labelings only — Σ^n seeds instead of Σ^m, which is what
+// makes torus and hypercube instances (m up to 4n) enumerable at all.
+//
+// Soundness of the restriction: the verdict depends only on the SCCs of the
+// states-graph, and every state on a cycle has per-node-uniform labels —
+// each in-edge label was written by its source's most recent broadcast
+// (countdowns force every node to activate along a cycle), and a broadcast
+// writes one label on all out-edges. It remains to reach every such SCC
+// from a restricted seed. Take any cycle state (ℓ, c⃗) with ℓ per-node
+// uniform; the seed (ℓ, r^n) is restricted, and (ℓ, r^n) simulates any
+// admissible activation sequence from (ℓ, c⃗): countdown vectors dominate
+// (r ≥ c_v pointwise) and domination is preserved step by step — activated
+// nodes reset to r on both sides, idle nodes decrement both sides — so a
+// set with cd_v = 1 forcing v on the seed side forces v on the original
+// side too, i.e. the original's schedule stays admissible. Replaying the
+// schedule that closes the original cycle once makes the two label
+// components equal (labels depend only on activations), and countdowns
+// agree after each node's first activation, so the run from the seed enters
+// the original cycle's SCC. Hence every cycle-bearing SCC — and with it the
+// verdict and a witness — is reachable from the restricted seeds.
 func (e *explorer) seed(emit explore.Emit) error {
 	g := e.p.Graph()
 	n, m := g.N(), g.M()
@@ -882,6 +903,7 @@ func (e *explorer) seed(emit explore.Emit) error {
 	outs := make([]core.Bit, n)
 	type seedScratch struct {
 		key   []uint64
+		lab   core.Labeling
 		canon *explore.Canon
 	}
 	pool := sync.Pool{New: func() any {
@@ -891,9 +913,7 @@ func (e *explorer) seed(emit explore.Emit) error {
 		}
 		return sc
 	}}
-	return explore.Labelings(e.p.Space(), m, e.workers, func(_ int, l core.Labeling) error {
-		sc := pool.Get().(*seedScratch)
-		defer pool.Put(sc)
+	intern := func(sc *seedScratch, l core.Labeling) error {
 		sc.key = e.codec.Pack(l, cd, outs, sc.key)
 		key := sc.key
 		if sc.canon != nil {
@@ -901,6 +921,27 @@ func (e *explorer) seed(emit explore.Emit) error {
 		}
 		_, _, err := emit(key)
 		return err
+	}
+	if e.p.Symmetric() {
+		return explore.Labelings(e.p.Space(), n, e.workers, func(_ int, assign core.Labeling) error {
+			sc := pool.Get().(*seedScratch)
+			defer pool.Put(sc)
+			if cap(sc.lab) < m {
+				sc.lab = make(core.Labeling, m)
+			}
+			sc.lab = sc.lab[:m]
+			for v := 0; v < n; v++ {
+				for _, id := range g.Out(graph.NodeID(v)) {
+					sc.lab[id] = assign[v]
+				}
+			}
+			return intern(sc, sc.lab)
+		})
+	}
+	return explore.Labelings(e.p.Space(), m, e.workers, func(_ int, l core.Labeling) error {
+		sc := pool.Get().(*seedScratch)
+		defer pool.Put(sc)
+		return intern(sc, l)
 	})
 }
 
@@ -1129,8 +1170,14 @@ func stabilization(p *core.Protocol, x core.Input, r int, trackOutputs bool, opt
 		limit = 1 << 30 // packed state IDs are int32
 	}
 	g := p.Graph()
-	if tooMany(p.Space().Size(), g.M(), limit) {
-		return Decision{}, fmt.Errorf("%w: |Σ|^m too large", ErrStateSpaceTooLarge)
+	// Symmetric protocols seed from per-node labelings (see explorer.seed),
+	// so the enumeration guard uses exponent n instead of m.
+	seedExp := g.M()
+	if p.Symmetric() {
+		seedExp = g.N()
+	}
+	if tooMany(p.Space().Size(), seedExp, limit) {
+		return Decision{}, fmt.Errorf("%w: seed labeling space too large", ErrStateSpaceTooLarge)
 	}
 	e, err := newExplorer(p, x, r, trackOutputs, opts, limit)
 	if err != nil {
