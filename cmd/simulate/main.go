@@ -3,15 +3,23 @@
 //
 // Usage:
 //
-//	simulate -protocol example1 -n 5 -schedule adversarial
-//	simulate -protocol tree-xor -n 6 -input 101101 -schedule sync
+//	simulate -protocol example1 -n 5 -sched adversarial
+//	simulate -protocol tree-xor -n 6 -input 101101 -sched sync
 //	simulate -protocol dcounter -n 7 -d 12
-//	simulate -protocol bgp-disagree -schedule roundrobin
+//	simulate -protocol bgp-disagree -sched roundrobin
 //	simulate -protocol example1 -n 6 -trials 64 -workers 8   # transient-fault sweep
 //	simulate -protocol example1 -n 6 -trials 64 -report out.jsonl
+//
+// Discrete-event fault-injection sweeps (-sched des) run the
+// internal/workload scenario library on the internal/des runtime and report
+// stabilization-time distributions instead of single verdicts:
+//
+//	simulate -protocol saturating-ring -n 1024 -sched des -workload burst -trials 64
+//	simulate -protocol saturating-ring -n 1048576 -sched des -workload churn -daemon poisson
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,17 +27,20 @@ import (
 	"math/rand/v2"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"stateless/internal/bestresponse"
 	"stateless/internal/core"
 	"stateless/internal/counter"
+	"stateless/internal/des"
 	"stateless/internal/graph"
 	"stateless/internal/obs"
 	"stateless/internal/par"
 	"stateless/internal/protocols"
 	"stateless/internal/schedule"
 	"stateless/internal/sim"
+	"stateless/internal/workload"
 )
 
 func main() {
@@ -41,20 +52,36 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var schedStr string
+	fs.StringVar(&schedStr, "sched", "sync", "schedule: sync | roundrobin | rfair | adversarial | des")
+	fs.StringVar(&schedStr, "schedule", "sync", "alias for -sched")
 	var (
-		name     = fs.String("protocol", "example1", "protocol: example1 | tree-xor | tree-maj | slow-ring | dcounter | bgp-good | bgp-disagree | bgp-bad")
-		n        = fs.Int("n", 5, "number of nodes (where applicable)")
+		name     = fs.String("protocol", "example1", "protocol: example1 | tree-xor | tree-maj | slow-ring | saturating-ring | saturating-cube | dcounter | bgp-good | bgp-disagree | bgp-bad")
+		n        = fs.Int("n", 5, "number of nodes (where applicable; hypercube dimension for saturating-cube)")
 		d        = fs.Uint64("d", 8, "counter modulus for -protocol dcounter")
-		q        = fs.Uint64("q", 3, "label alphabet size for -protocol slow-ring")
+		q        = fs.Uint64("q", 3, "label alphabet size for -protocol slow-ring | saturating-*")
 		inputStr = fs.String("input", "", "input bits, e.g. 10110 (defaults to zeros)")
-		schedStr = fs.String("schedule", "sync", "schedule: sync | roundrobin | rfair | adversarial")
-		r        = fs.Int("r", 0, "fairness window for -schedule rfair (default n-1)")
-		seed     = fs.Uint64("seed", 1, "seed for random schedule/labeling")
+		r        = fs.Int("r", 0, "fairness window for -sched rfair (default n-1)")
+		seed     = fs.Uint64("seed", 1, "seed for random schedule/labeling; trial i uses seed+i")
 		maxSteps = fs.Int("steps", 100000, "maximum steps")
 		randInit = fs.Bool("random-init", false, "start from a random labeling (transient fault)")
 		trials   = fs.Int("trials", 1, "run this many seeded random-init trials (a transient-fault sweep) instead of one run")
 		workers  = fs.Int("workers", 0, "worker-pool size for -trials sweeps (0 = GOMAXPROCS)")
 		report   = fs.String("report", "", "append a structured run report as one JSON line to this file")
+
+		// Discrete-event (-sched des) workload flags.
+		workloadStr = fs.String("workload", "steady", "des scenario: steady | burst | churn | mixed")
+		daemonStr   = fs.String("daemon", "sync", "des activation daemon: sync | poisson | bursty | adversarial")
+		rate        = fs.Float64("rate", 1, "poisson/bursty activation rate per round")
+		horizon     = fs.Uint64("horizon", 1<<16, "des trial horizon in rounds")
+		cleanInit   = fs.Bool("clean-init", false, "des: start from the all-zero labeling instead of seeded corruption")
+		burstK      = fs.Int("burst-k", 0, "corrupted nodes per burst (0 = n/10)")
+		burstAt     = fs.String("burst-at", "", "comma-separated burst rounds (default 8)")
+		churnRate   = fs.Float64("churn-rate", 0, "expected crashes per round (0 = 0.05)")
+		churnDown   = fs.Float64("churn-down", 0, "mean rejoin downtime in rounds (0 = 8)")
+		churnUntil  = fs.Uint64("churn-until", 0, "stop injecting crashes after this round (0 = 64)")
+		fairR       = fs.Uint64("fair-r", 0, "adversarial daemon fairness window in rounds (0 = 4)")
+		rejoinStr   = fs.String("rejoin", "resample", "churn rejoin state: resample | zero | stale")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,22 +107,47 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if schedStr == "des" {
+		burstRounds, err := parseRounds(*burstAt)
+		if err != nil {
+			return err
+		}
+		rejoin, err := parseRejoin(*rejoinStr)
+		if err != nil {
+			return err
+		}
+		wopts := workload.Options{
+			Daemon:          *daemonStr,
+			Rate:            *rate,
+			FairR:           *fairR,
+			HorizonRounds:   *horizon,
+			CleanInit:       *cleanInit,
+			BurstK:          *burstK,
+			BurstAtRounds:   burstRounds,
+			ChurnRate:       *churnRate,
+			ChurnDownRounds: *churnDown,
+			ChurnUntilRound: *churnUntil,
+			Rejoin:          rejoin,
+		}
+		return runDES(stdout, p, *name, x, *workloadStr, wopts, *trials, *workers, *seed, *report)
+	}
+
 	l0 := core.UniformLabeling(g, 0)
 	if *randInit {
 		rng := rand.New(rand.NewPCG(*seed, *seed))
 		l0 = core.RandomLabeling(g, p.Space(), rng)
 	}
-	if *name == "example1" && *schedStr == "adversarial" {
+	if *name == "example1" && schedStr == "adversarial" {
 		l0 = protocols.Example1OscillationStart(g)
 	}
 
-	sched, period, err := buildSchedule(*schedStr, *name, nn, *r, *seed, defaultSchedule)
+	sched, period, err := buildSchedule(schedStr, *name, nn, *r, *seed, defaultSchedule)
 	if err != nil {
 		return err
 	}
 
 	fmt.Fprintf(stdout, "protocol=%s nodes=%d edges=%d |Σ|=%d (%d bits) schedule=%s\n",
-		*name, nn, g.M(), p.Space().Size(), p.LabelBits(), *schedStr)
+		*name, nn, g.M(), p.Space().Size(), p.LabelBits(), schedStr)
 
 	opts := sim.Options{MaxSteps: *maxSteps}
 	if period > 0 {
@@ -104,7 +156,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	start := time.Now()
 	rep := newSimReport(p, *name, map[string]string{
-		"schedule": *schedStr,
+		"schedule": schedStr,
 		"steps":    strconv.Itoa(*maxSteps),
 		"seed":     strconv.FormatUint(*seed, 10),
 		"trials":   strconv.Itoa(*trials),
@@ -114,7 +166,7 @@ func run(args []string, stdout io.Writer) error {
 		opts.Metrics = obs.NewRegistry()
 	}
 	if *trials > 1 {
-		if err := runSweep(stdout, p, x, *trials, *workers, *seed, *schedStr, *name, *r, defaultSchedule, opts, rep); err != nil {
+		if err := runSweep(stdout, p, x, *trials, *workers, *seed, schedStr, *name, *r, defaultSchedule, opts, rep); err != nil {
 			return err
 		}
 		return finishReport(rep, opts.Metrics, start, *report)
@@ -132,6 +184,93 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintln(stdout)
 	rep.Verdict = res.Status.String()
 	return finishReport(rep, opts.Metrics, start, *report)
+}
+
+// parseRounds parses a comma-separated list of round numbers.
+func parseRounds(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -burst-at entry %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseRejoin maps the -rejoin flag to a des.RejoinMode.
+func parseRejoin(s string) (des.RejoinMode, error) {
+	switch s {
+	case "resample":
+		return des.RejoinResample, nil
+	case "zero":
+		return des.RejoinZero, nil
+	case "stale":
+		return des.RejoinStale, nil
+	default:
+		return 0, fmt.Errorf("unknown rejoin mode %q (valid: resample | zero | stale)", s)
+	}
+}
+
+// runDES runs a discrete-event fault-injection sweep via internal/workload
+// and reports the stabilization-time distribution.
+func runDES(stdout io.Writer, p *core.Protocol, name string, x core.Input,
+	scenario string, wopts workload.Options, trials, workers int, seed uint64, report string) error {
+	start := time.Now()
+	rep := newSimReport(p, name, map[string]string{
+		"schedule": "des",
+		"workload": scenario,
+		"daemon":   wopts.Daemon,
+		"seed":     strconv.FormatUint(seed, 10),
+		"trials":   strconv.Itoa(trials),
+		"workers":  strconv.Itoa(workers),
+	})
+	if report != "" {
+		wopts.Metrics = obs.NewRegistry()
+	}
+	sc, err := workload.NewScenario(scenario, p, x, wopts)
+	if err != nil {
+		return err
+	}
+	sum, err := workload.Run(context.Background(), sc, trials, seed, workers)
+	if err != nil {
+		return err
+	}
+	g := p.Graph()
+	fmt.Fprintf(stdout, "protocol=%s nodes=%d edges=%d |Σ|=%d schedule=des workload=%s daemon=%s\n",
+		name, g.N(), g.M(), p.Space().Size(), scenario, sc.Opts.Daemon)
+	fmt.Fprintf(stdout, "trials=%d workers=%d stabilized=%d/%d\n",
+		trials, par.Workers(workers), sum.Stabilized, len(sum.Trials))
+	fmt.Fprintf(stdout, "recovery_ticks p50=%d p95=%d p99=%d max=%d\n",
+		sum.P50, sum.P95, sum.P99, sum.Max)
+	fmt.Fprintf(stdout, "recovery_rounds p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		des.Rounds(sum.P50), des.Rounds(sum.P95), des.Rounds(sum.P99), des.Rounds(sum.Max))
+
+	rep.Trials = make([]obs.Trial, len(sum.Trials))
+	for i, tr := range sum.Trials {
+		status := "stabilized"
+		if !tr.Stabilized {
+			status = "exhausted"
+		}
+		rep.Trials[i] = obs.Trial{
+			Seed:          tr.Seed,
+			Status:        status,
+			StabilizedAt:  int(tr.StabilizedAtTick),
+			RecoveryTicks: tr.RecoveryTicks,
+			Activations:   tr.Activations,
+			Faults:        tr.Faults,
+		}
+	}
+	rep.Percentiles = &obs.Percentiles{P50: sum.P50, P95: sum.P95, P99: sum.P99, Max: sum.Max}
+	rep.Verdict = "stabilized"
+	if sum.Stabilized < len(sum.Trials) {
+		rep.Verdict = "exhausted"
+	}
+	return finishReport(rep, wopts.Metrics, start, report)
 }
 
 // newSimReport stamps a simulate report with the instance description.
@@ -242,6 +381,12 @@ func buildProtocol(name string, n int, d, q uint64) (*core.Protocol, [][]graph.N
 	case "slow-ring":
 		p, err := protocols.SlowUnidirectional(n, q)
 		return p, nil, err
+	case "saturating-ring":
+		p, err := protocols.SaturatingRing(n, q)
+		return p, nil, err
+	case "saturating-cube":
+		p, err := protocols.SaturatingNet(graph.Hypercube(n), q)
+		return p, nil, err
 	case "dcounter":
 		dc, err := counter.NewDCounter(n, d)
 		if err != nil {
@@ -282,6 +427,6 @@ func buildSchedule(kind, name string, n, r int, seed uint64, adversarial [][]gra
 		s, err := schedule.NewScripted(adversarial)
 		return s, len(adversarial), err
 	default:
-		return nil, 0, fmt.Errorf("unknown schedule %q", kind)
+		return nil, 0, fmt.Errorf("unknown -sched %q (valid: sync | roundrobin | rfair | adversarial | des)", kind)
 	}
 }

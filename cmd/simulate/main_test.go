@@ -63,3 +63,90 @@ func TestRunRejectsUnknownProtocol(t *testing.T) {
 		t.Fatal("expected an error for an unknown protocol")
 	}
 }
+
+// Unknown -sched values must fail with a usage error naming the valid set,
+// not silently fall back to the synchronous schedule.
+func TestRunRejectsUnknownSchedule(t *testing.T) {
+	for _, flagName := range []string{"-sched", "-schedule"} {
+		var out bytes.Buffer
+		err := run([]string{"-protocol", "example1", "-n", "4", flagName, "eventual"}, &out)
+		if err == nil {
+			t.Fatalf("%s eventual: expected a usage error", flagName)
+		}
+		if !strings.Contains(err.Error(), "des") {
+			t.Fatalf("%s error %q does not list the valid schedules", flagName, err)
+		}
+	}
+}
+
+// -sched and -schedule are aliases for the same value.
+func TestSchedAliasesSchedule(t *testing.T) {
+	outs := make([]string, 2)
+	for i, flagName := range []string{"-sched", "-schedule"} {
+		var out bytes.Buffer
+		args := []string{"-protocol", "example1", "-n", "4", flagName, "roundrobin"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		outs[i] = out.String()
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("-sched and -schedule outputs differ:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+// The des path: every workload stabilizes the saturating ring and reports a
+// percentile line; fixed seeds are byte-reproducible across worker counts.
+func TestDESWorkloads(t *testing.T) {
+	for _, wl := range []string{"steady", "burst", "churn", "mixed"} {
+		t.Run(wl, func(t *testing.T) {
+			var out bytes.Buffer
+			args := []string{"-protocol", "saturating-ring", "-n", "64", "-q", "4",
+				"-sched", "des", "-workload", wl, "-trials", "8", "-churn-until", "16"}
+			if err := run(args, &out); err != nil {
+				t.Fatalf("%v: %v", args, err)
+			}
+			s := out.String()
+			if !strings.Contains(s, "stabilized=8/8") {
+				t.Fatalf("workload %s did not stabilize all trials:\n%s", wl, s)
+			}
+			if !strings.Contains(s, "recovery_ticks p50=") {
+				t.Fatalf("no percentile line:\n%s", s)
+			}
+		})
+	}
+}
+
+func TestDESDeterministicAcrossWorkers(t *testing.T) {
+	outs := make([]string, 2)
+	for i, w := range []string{"1", "4"} {
+		var out bytes.Buffer
+		args := []string{"-protocol", "saturating-cube", "-n", "4", "-q", "3",
+			"-sched", "des", "-workload", "mixed", "-daemon", "poisson",
+			"-trials", "12", "-seed", "9", "-workers", w, "-churn-until", "16"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		s := out.String()
+		s = s[strings.Index(s, "stabilized="):]
+		outs[i] = s
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("des sweep differs across worker counts:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+func TestDESRejectsBadWorkloadFlags(t *testing.T) {
+	base := []string{"-protocol", "saturating-ring", "-n", "16", "-sched", "des"}
+	for _, extra := range [][]string{
+		{"-workload", "meteor"},
+		{"-daemon", "lazy"},
+		{"-rejoin", "perfect"},
+		{"-burst-at", "1,x"},
+	} {
+		var out bytes.Buffer
+		if err := run(append(append([]string{}, base...), extra...), &out); err == nil {
+			t.Fatalf("%v: expected an error", extra)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package des
+
+// raceEnabled reports whether the race detector is active; the million-node
+// scale test skips under -race (instrumented memory overhead blows the
+// budget the test exists to pin).
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package des
+
+// raceEnabled reports whether the race detector is active.
+const raceEnabled = true

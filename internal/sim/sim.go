@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -66,6 +67,10 @@ func (s Status) String() string {
 type Options struct {
 	// MaxSteps bounds the number of time steps (0 means DefaultMaxSteps).
 	MaxSteps int
+	// Context, when non-nil, makes the run abortable: cancellation is
+	// polled every cancelCheckInterval steps and surfaces as ErrCanceled
+	// (parity with explore.Run and des.Runtime.Run).
+	Context context.Context
 	// DetectCycles enables configuration-cycle detection by hashing
 	// labelings. Sound only when the schedule is deterministic and
 	// position-periodic (Synchronous, RoundRobin, Scripted); the runner
@@ -105,6 +110,14 @@ type Result struct {
 
 // ErrBadInput is returned when the input vector length mismatches the graph.
 var ErrBadInput = errors.New("sim: input length must equal node count")
+
+// ErrCanceled is returned when Options.Context is canceled mid-run; it
+// wraps the context error, so errors.Is works against both.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// cancelCheckInterval is how many steps pass between Context polls: steps
+// are microseconds-cheap, so checking every step would dominate small runs.
+const cancelCheckInterval = 1024
 
 // Simulator metric names (see Options.Metrics and Result.Record).
 const (
@@ -191,7 +204,17 @@ func run(p *core.Protocol, x core.Input, l0 core.Labeling, sched schedule.Schedu
 	lastLabelChange := 0
 	stepper := core.NewStepper(p)
 
+	if opts.Context != nil {
+		if err := opts.Context.Err(); err != nil {
+			return Result{}, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+	}
 	for t := 1; t <= maxSteps; t++ {
+		if opts.Context != nil && t%cancelCheckInterval == 0 {
+			if err := opts.Context.Err(); err != nil {
+				return Result{}, fmt.Errorf("%w: %w", ErrCanceled, err)
+			}
+		}
 		active = sched.Activated(t, active[:0])
 		changed := stepper.Step(x, cur, &next, active)
 		cur, next = next, cur
@@ -322,6 +345,12 @@ func RoundComplexity(p *core.Protocol, inputs []core.Input, labelings []core.Lab
 // called concurrently and must be safe for that; the returned error is
 // deterministic (lowest failing sweep index) regardless of worker count.
 func RoundComplexityWorkers(p *core.Protocol, inputs []core.Input, labelings []core.Labeling, maxSteps, workers int, check func(core.Input, Result) error) (int, error) {
+	return RoundComplexityCtx(context.Background(), p, inputs, labelings, maxSteps, workers, check)
+}
+
+// RoundComplexityCtx is RoundComplexityWorkers with cancellation: each run
+// in the sweep polls ctx and the whole sweep aborts with ErrCanceled.
+func RoundComplexityCtx(ctx context.Context, p *core.Protocol, inputs []core.Input, labelings []core.Labeling, maxSteps, workers int, check func(core.Input, Result) error) (int, error) {
 	var (
 		mu    sync.Mutex
 		worst int
@@ -329,7 +358,11 @@ func RoundComplexityWorkers(p *core.Protocol, inputs []core.Input, labelings []c
 	err := par.ForEach(len(inputs)*len(labelings), workers, func(i int) error {
 		x := inputs[i/len(labelings)]
 		l0 := labelings[i%len(labelings)]
-		res, err := RunSynchronous(p, x, l0, maxSteps)
+		res, err := Run(p, x, l0, schedule.Synchronous{N: p.Graph().N()}, Options{
+			MaxSteps:     maxSteps,
+			DetectCycles: true,
+			Context:      ctx,
+		})
 		if err != nil {
 			return err
 		}

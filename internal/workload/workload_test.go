@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"stateless/internal/core"
+	"stateless/internal/des"
+	"stateless/internal/graph"
+	"stateless/internal/obs"
+	"stateless/internal/protocols"
+)
+
+func satRing(t *testing.T, n int, sigma uint64) (*core.Protocol, core.Input) {
+	t.Helper()
+	p, err := protocols.SaturatingRing(n, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, make(core.Input, n)
+}
+
+func TestNewScenarioValidation(t *testing.T) {
+	p, x := satRing(t, 8, 4)
+	if _, err := NewScenario(Steady, nil, x, Options{}); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if _, err := NewScenario(Steady, p, x[:3], Options{}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := NewScenario("meteor-strike", p, x, Options{}); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+	if _, err := NewScenario(Steady, p, x, Options{Daemon: "round-robin"}); err == nil {
+		t.Error("unknown daemon accepted")
+	}
+	sc, err := NewScenario(Steady, p, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := sc.Opts
+	if o.Daemon != DaemonSync || o.Rate != 1 || o.FairR != 4 ||
+		o.HorizonRounds != 1<<16 || o.BurstK != 1 || len(o.BurstAtRounds) != 1 {
+		t.Fatalf("defaults not resolved: %+v", o)
+	}
+}
+
+// Every scenario × daemon combination on a small ring stabilizes and
+// reports sane counters.
+func TestScenarioDaemonMatrix(t *testing.T) {
+	p, x := satRing(t, 32, 4)
+	for _, name := range []string{Steady, Burst, Churn, Mixed} {
+		for _, daemon := range []string{DaemonSync, DaemonPoisson, DaemonBursty, DaemonAdversarial} {
+			t.Run(name+"/"+daemon, func(t *testing.T) {
+				sc, err := NewScenario(name, p, x, Options{Daemon: daemon, ChurnUntilRound: 16})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum, err := Run(context.Background(), sc, 8, 1, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sum.Stabilized != 8 {
+					t.Fatalf("%d/8 trials stabilized", sum.Stabilized)
+				}
+				if sum.P50 > sum.P95 || sum.P95 > sum.P99 || sum.P99 > sum.Max {
+					t.Fatalf("percentiles not monotone: %+v", sum)
+				}
+				wantFaults := name == Burst || name == Churn || name == Mixed
+				var faults uint64
+				for i, tr := range sum.Trials {
+					if tr.Seed != 1+uint64(i) {
+						t.Fatalf("trial %d seed %d, want %d", i, tr.Seed, 1+uint64(i))
+					}
+					faults += tr.Faults
+				}
+				if wantFaults && faults == 0 {
+					t.Fatal("fault-injection scenario fired no faults")
+				}
+				if name == Steady && faults != 0 {
+					t.Fatalf("steady scenario fired %d faults", faults)
+				}
+			})
+		}
+	}
+}
+
+// Determinism: identical (seed, trials) sweeps are deeply equal regardless
+// of worker count; a different seed diverges.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	p, x := satRing(t, 48, 4)
+	sc, err := NewScenario(Mixed, p, x, Options{Daemon: DaemonPoisson, ChurnUntilRound: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(context.Background(), sc, 12, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), sc, 12, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different summaries:\n%+v\n%+v", a, b)
+	}
+	c, err := Run(context.Background(), sc, 12, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Trials, c.Trials) {
+		t.Fatal("different seeds produced identical trials (suspicious)")
+	}
+}
+
+// Burst scenarios corrupt exactly BurstK distinct nodes per burst time.
+func TestBurstFaultAccounting(t *testing.T) {
+	p, x := satRing(t, 64, 4)
+	sc, err := NewScenario(Burst, p, x, Options{
+		CleanInit: false,
+		BurstK:    5,
+		// Two bursts, late enough that the first convergence is over.
+		BurstAtRounds: []uint64{20, 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(context.Background(), sc, 4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range sum.Trials {
+		// One CorruptNode fault per victim per burst.
+		if want := uint64(2 * 5); tr.Faults != want {
+			t.Fatalf("trial %d: %d faults, want %d", i, tr.Faults, want)
+		}
+		if !tr.Stabilized {
+			t.Fatalf("trial %d did not stabilize", i)
+		}
+		if tr.RecoveryTicks == 0 {
+			t.Fatalf("trial %d: zero recovery after a burst at round 40", i)
+		}
+	}
+}
+
+// Recovery is measured from the last fault, not from t=0: a late burst on
+// a converged system yields RecoveryTicks much smaller than StabilizedAt.
+func TestRecoveryMeasuredFromLastFault(t *testing.T) {
+	p, x := satRing(t, 64, 4)
+	sc, err := NewScenario(Burst, p, x, Options{
+		CleanInit:     true,
+		BurstK:        2,
+		BurstAtRounds: []uint64{100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(context.Background(), sc, 3, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range sum.Trials {
+		if !tr.Stabilized {
+			t.Fatalf("trial %d did not stabilize", i)
+		}
+		if tr.StabilizedAtTick < 100*des.TicksPerRound {
+			t.Fatalf("trial %d: stabilized at tick %d, before the burst", i, tr.StabilizedAtTick)
+		}
+		if tr.RecoveryTicks >= 100*des.TicksPerRound {
+			t.Fatalf("trial %d: recovery %d ticks includes pre-fault time", i, tr.RecoveryTicks)
+		}
+	}
+}
+
+// Churn under every rejoin mode heals back to the fixed point.
+func TestChurnRejoinModes(t *testing.T) {
+	p, x := satRing(t, 32, 4)
+	for _, mode := range []des.RejoinMode{des.RejoinResample, des.RejoinZero, des.RejoinStale} {
+		sc, err := NewScenario(Churn, p, x, Options{
+			ChurnRate:       0.5,
+			ChurnUntilRound: 16,
+			Rejoin:          mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := Run(context.Background(), sc, 6, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Stabilized != 6 {
+			t.Fatalf("mode %v: %d/6 stabilized", mode, sum.Stabilized)
+		}
+	}
+}
+
+// Metrics: the sweep fills the recovery histogram and the per-run des
+// counters.
+func TestRunMetrics(t *testing.T) {
+	p, x := satRing(t, 16, 3)
+	m := obs.NewRegistry()
+	sc, err := NewScenario(Steady, p, x, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), sc, 5, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap["des/runs"].Value != 5 {
+		t.Fatalf("des/runs = %d, want 5", snap["des/runs"].Value)
+	}
+	var obsn int64
+	for _, c := range snap["workload/recovery_rounds"].Counts {
+		obsn += c
+	}
+	if obsn != 5 {
+		t.Fatalf("recovery histogram holds %d observations, want 5", obsn)
+	}
+}
+
+// Cancellation surfaces des.ErrCanceled through the sweep.
+func TestRunCanceled(t *testing.T) {
+	p, x := satRing(t, 16, 3)
+	sc, err := NewScenario(Steady, p, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, sc, 4, 1, 2); !errors.Is(err, des.ErrCanceled) {
+		t.Fatalf("err = %v, want des.ErrCanceled", err)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		q    int
+		want uint64
+	}{{50, 50}, {95, 100}, {99, 100}, {100, 100}, {1, 10}} {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("p%d = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %d, want 0", got)
+	}
+	if got := percentile([]uint64{7}, 99); got != 7 {
+		t.Errorf("p99 of singleton = %d, want 7", got)
+	}
+}
+
+// graph import is exercised via des rejoin modes; keep the linter honest.
+var _ = graph.NodeID(0)
